@@ -1,0 +1,89 @@
+// Command accuracy regenerates the paper's accuracy results:
+//
+//   - Table II (-table2): the relative FFT round-trip error
+//     ‖x − IFFT(FFT(x))‖/‖x‖ for FP64, FP32, and the mixed-precision
+//     FP64→FP32 compressed exchange, across GPU counts.
+//   - Fig. 2 (-fig2): the error as the communication mantissa is trimmed
+//     bit by bit, together with the theoretical acceleration 64/bits,
+//     plus the FP64, FP32, and MP 64/32 reference lines.
+//
+// Usage:
+//
+//	go run ./cmd/accuracy -table2 [-n 64] [-gpus 12,24,...]
+//	go run ./cmd/accuracy -fig2 [-n 32] [-gpus 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+func main() {
+	table2 := flag.Bool("table2", false, "reproduce Table II")
+	fig2 := flag.Bool("fig2", false, "reproduce Fig. 2")
+	nFlag := flag.Int("n", 64, "cubic problem size per dimension")
+	gpusFlag := flag.String("gpus", "12,24,48,96,192,384,768,1536", "GPU counts for -table2 (multiples of 6)")
+	fig2GPUs := flag.Int("fig2gpus", 12, "GPU count for the -fig2 sweep")
+	flag.Parse()
+	if !*table2 && !*fig2 {
+		*table2, *fig2 = true, true
+	}
+
+	n := [3]int{*nFlag, *nFlag, *nFlag}
+	if *table2 {
+		runTable2(n, *gpusFlag)
+	}
+	if *fig2 {
+		runFig2(n, *fig2GPUs)
+	}
+}
+
+func runTable2(n [3]int, gpus string) {
+	fmt.Printf("# Table II — relative FFT error ‖x − IFFT(FFT(x))‖/‖x‖, %d^3 problem\n", n[0])
+	fmt.Printf("%8s%14s%14s%14s\n", "GPUs", "FP64", "FP32", "FP64->FP32")
+	for _, gs := range strings.Split(gpus, ",") {
+		g, err := strconv.Atoi(strings.TrimSpace(gs))
+		if err != nil || g%6 != 0 {
+			fmt.Fprintf(os.Stderr, "accuracy: skipping invalid GPU count %q\n", gs)
+			continue
+		}
+		cfg := netsim.Summit(g / 6)
+		e64 := core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendAlltoallv}, 0, true).RelErr
+		e32 := core.Measure[complex64](cfg, n, core.Options{Backend: core.BackendAlltoallv}, 0, true).RelErr
+		eMP := core.Measure[complex128](cfg, n, core.Options{
+			Backend: core.BackendCompressed, Method: compress.Cast32{},
+		}, 0, true).RelErr
+		fmt.Printf("%8d%14.2e%14.2e%14.2e\n", g, e64, e32, eMP)
+	}
+}
+
+func runFig2(n [3]int, gpus int) {
+	if gpus%6 != 0 {
+		fmt.Fprintln(os.Stderr, "accuracy: -fig2gpus must be a multiple of 6")
+		os.Exit(1)
+	}
+	cfg := netsim.Summit(gpus / 6)
+	fmt.Printf("\n# Fig. 2 — accuracy vs bits in the communicated values, %d^3 problem, %d GPUs\n", n[0], gpus)
+	fmt.Printf("# (bits = 1 sign + 11 exponent + M mantissa; theoretical speedup = 64/bits)\n")
+	fmt.Printf("%8s%10s%14s%14s\n", "bits", "mantissa", "rel.err", "speedup")
+	for m := 52; m >= 4; m -= 4 {
+		method := compress.Trim{M: uint(m)}
+		r := core.Measure[complex128](cfg, n, core.Options{
+			Backend: core.BackendCompressed, Method: method,
+		}, 0, true)
+		fmt.Printf("%8d%10d%14.2e%14.2f\n", method.BitsPerValue(), m, r.RelErr, 64/float64(method.BitsPerValue()))
+	}
+	e64 := core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendAlltoallv}, 0, true).RelErr
+	e32 := core.Measure[complex64](cfg, n, core.Options{Backend: core.BackendAlltoallv}, 0, true).RelErr
+	eMP := core.Measure[complex128](cfg, n, core.Options{
+		Backend: core.BackendCompressed, Method: compress.Cast32{},
+	}, 0, true).RelErr
+	fmt.Printf("# references: FP64 %.2e | FP32 (full pipeline) %.2e | MP 64/32 %.2e\n", e64, e32, eMP)
+}

@@ -1,0 +1,79 @@
+// Command alltoallbench regenerates Fig. 3 of the paper: average node
+// bandwidth of the all-to-all implementations as the number of GPUs
+// grows, at a fixed message size per process pair (80 KB by default).
+//
+// Usage:
+//
+//	go run ./cmd/alltoallbench [-msg 81920] [-iters 2] [-gpus 6,12,...] [-algos linear,osc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/exchange"
+	"repro/internal/netsim"
+	"repro/internal/plot"
+)
+
+func main() {
+	msg := flag.Int("msg", 80*1024, "message size per process pair in bytes")
+	iters := flag.Int("iters", 2, "measured iterations per point")
+	gpusFlag := flag.String("gpus", "6,12,24,48,96,192,384,768,1536", "comma-separated GPU counts (multiples of 6)")
+	algosFlag := flag.String("algos", "linear,osc", "algorithms: linear,pairwise,bruck,osc,osc-naive")
+	doPlot := flag.Bool("plot", false, "render the figure as an ASCII chart")
+	flag.Parse()
+
+	gpus, err := parseInts(*gpusFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alltoallbench:", err)
+		os.Exit(1)
+	}
+	algos := strings.Split(*algosFlag, ",")
+
+	fmt.Printf("# Fig. 3 — average node bandwidth (GB/s), %d KB per pair\n", *msg/1024)
+	fmt.Printf("%8s", "GPUs")
+	for _, a := range algos {
+		fmt.Printf("%14s", a)
+	}
+	fmt.Println()
+	series := make([]plot.Series, len(algos))
+	var labels []string
+	for i, a := range algos {
+		series[i].Name = a
+	}
+	for _, g := range gpus {
+		if g%6 != 0 {
+			fmt.Fprintf(os.Stderr, "alltoallbench: skipping %d GPUs (not a multiple of 6)\n", g)
+			continue
+		}
+		fmt.Printf("%8d", g)
+		labels = append(labels, fmt.Sprint(g))
+		for i, a := range algos {
+			bw := exchange.NodeBandwidth(netsim.Summit(g/6), a, *msg, *iters)
+			fmt.Printf("%14.2f", bw/1e9)
+			series[i].Values = append(series[i].Values, bw/1e9)
+		}
+		fmt.Println()
+	}
+	if *doPlot {
+		fmt.Println()
+		fmt.Print(plot.Chart("node bandwidth (GB/s) vs GPUs", labels, series, 60, 14, false))
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad count %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

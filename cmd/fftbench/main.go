@@ -1,0 +1,144 @@
+// Command fftbench regenerates Fig. 4 of the paper: strong scaling of
+// the distributed 3-D FFT, in Gflop/s (left) and speedup over the FP64
+// baseline (right), for the four configurations of the paper:
+//
+//	fp64     — FP64 pipeline, classical MPI_Alltoallv (solid blue)
+//	fp32     — FP32 pipeline, classical MPI_Alltoallv (solid orange)
+//	fp64-32  — FP64 compute, FP64→FP32 compressed OSC exchange
+//	fp64-16  — FP64 compute, FP64→FP16 compressed OSC exchange
+//
+// The paper ran 1024³ on up to 1536 GPUs; the default here is 128³ on
+// the same GPU counts (see EXPERIMENTS.md for the scale discussion).
+//
+// Usage:
+//
+//	go run ./cmd/fftbench [-n 128] [-gpus 12,24,...] [-iters 1] [-configs fp64,fp32,fp64-32,fp64-16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/plot"
+)
+
+type config struct {
+	name string
+	run  func(cfg netsim.Config, n [3]int, iters, simScale int) core.Result
+}
+
+func configByName(name string) (config, bool) {
+	switch name {
+	case "fp64":
+		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendAlltoallv, SimScale: ss}, iters, false)
+		}}, true
+	case "fp32":
+		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.Measure[complex64](cfg, n, core.Options{Backend: core.BackendAlltoallv, SimScale: ss}, iters, false)
+		}}, true
+	case "fp64-32":
+		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendCompressed, Method: compress.Cast32{}, SimScale: ss}, iters, false)
+		}}, true
+	case "fp64-16":
+		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendCompressed, Method: compress.Cast16{}, SimScale: ss}, iters, false)
+		}}, true
+	case "fp64-bf16":
+		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendCompressed, Method: compress.CastBF16{}, SimScale: ss}, iters, false)
+		}}, true
+	case "fp64-32-2s":
+		// Compression over the two-sided transport (ablation).
+		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendCompressedTwoSided, Method: compress.Cast32{}, SimScale: ss}, iters, false)
+		}}, true
+	case "osc":
+		// Uncompressed one-sided exchange (isolates the OSC gain).
+		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendOSC, SimScale: ss}, iters, false)
+		}}, true
+	case "fp64-pencil":
+		// Reduced-reshape configuration (pencil-shaped input/output).
+		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendAlltoallv, SimScale: ss, PencilIO: true}, iters, false)
+		}}, true
+	}
+	return config{}, false
+}
+
+func main() {
+	nFlag := flag.Int("n", 128, "cubic data size per dimension")
+	simFlag := flag.Int("sim", 1024, "simulated problem size per dimension (time plane; must be a multiple of -n)")
+	gpusFlag := flag.String("gpus", "12,24,48,96,192,384,768,1536", "comma-separated GPU counts (multiples of 6)")
+	iters := flag.Int("iters", 1, "measured iterations per point")
+	configsFlag := flag.String("configs", "fp64,fp32,fp64-32,fp64-16", "configurations")
+	doPlot := flag.Bool("plot", false, "render the figure as an ASCII chart")
+	flag.Parse()
+
+	n := [3]int{*nFlag, *nFlag, *nFlag}
+	if *simFlag%*nFlag != 0 {
+		fmt.Fprintln(os.Stderr, "fftbench: -sim must be a multiple of -n")
+		os.Exit(1)
+	}
+	simScale := *simFlag / *nFlag
+	var configs []config
+	for _, name := range strings.Split(*configsFlag, ",") {
+		c, ok := configByName(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fftbench: unknown config %q\n", name)
+			os.Exit(1)
+		}
+		configs = append(configs, c)
+	}
+
+	fmt.Printf("# Fig. 4 — strong scaling, %d^3 simulated problem (%d^3 data)\n", *simFlag, *nFlag)
+	fmt.Printf("%8s", "GPUs")
+	for _, c := range configs {
+		fmt.Printf("%12s", c.name+" GF/s")
+	}
+	for _, c := range configs {
+		fmt.Printf("%12s", c.name+" spd")
+	}
+	fmt.Println()
+
+	series := make([]plot.Series, len(configs))
+	for i, c := range configs {
+		series[i].Name = c.name
+	}
+	var labels []string
+	for _, gs := range strings.Split(*gpusFlag, ",") {
+		g, err := strconv.Atoi(strings.TrimSpace(gs))
+		if err != nil || g%6 != 0 {
+			fmt.Fprintf(os.Stderr, "fftbench: skipping invalid GPU count %q\n", gs)
+			continue
+		}
+		machine := netsim.Summit(g / 6)
+		gflops := make([]float64, len(configs))
+		for i, c := range configs {
+			gflops[i] = c.run(machine, n, *iters, simScale).Gflops
+		}
+		fmt.Printf("%8d", g)
+		labels = append(labels, fmt.Sprint(g))
+		for i, gf := range gflops {
+			fmt.Printf("%12.1f", gf)
+			series[i].Values = append(series[i].Values, gf)
+		}
+		base := gflops[0]
+		for _, gf := range gflops {
+			fmt.Printf("%12.2f", gf/base)
+		}
+		fmt.Println()
+	}
+	if *doPlot {
+		fmt.Println()
+		fmt.Print(plot.Chart("Gflop/s vs GPUs (log scale)", labels, series, 60, 14, true))
+	}
+}

@@ -1,0 +1,24 @@
+// Command precisions prints Table I of the paper: the parameters of the
+// BFloat16/FP16/FP32/FP64 arithmetics and their peak rates on the GPUs
+// the paper considers, as encoded in internal/precision.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/precision"
+)
+
+func main() {
+	fmt.Println("# Table I — floating-point arithmetic parameters")
+	fmt.Printf("%-10s%6s%14s%12s%12s%14s%10s%10s\n",
+		"Format", "Bits", "Xmin,s", "Xmin", "Xmax", "UnitRoundoff", "V100", "MI100")
+	for _, f := range precision.Formats {
+		v100 := "N/A"
+		if f.PeakV100 > 0 {
+			v100 = fmt.Sprintf("%.1f", f.PeakV100)
+		}
+		fmt.Printf("%-10s%6d%14.1e%12.1e%12.1e%14.1e%10s%10.1f\n",
+			f.Name, f.Bits, f.XminSubnorm, f.XminNormal, f.Xmax, f.UnitRoundoff, v100, f.PeakMI100)
+	}
+}

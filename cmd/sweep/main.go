@@ -1,0 +1,72 @@
+// Command sweep regenerates every experiment of EXPERIMENTS.md in one
+// run, writing one file per table/figure into an output directory.
+//
+//	go run ./cmd/sweep [-out results] [-quick]
+//
+// -quick caps the GPU counts at 96 and shrinks problems so the whole
+// sweep finishes in well under a minute (CI mode); the default runs the
+// full 12…1536-GPU sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+)
+
+type job struct {
+	file string
+	args []string
+}
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	quick := flag.Bool("quick", false, "small, fast configuration")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	gpus := "12,24,48,96,192,384,768,1536"
+	fig3GPUs := "6,12,24,48,96,192,384,768,1536"
+	n, sim, t2n, f2n := "64", "1024", "128", "64"
+	iters := "2"
+	ablGPUs := "96"
+	if *quick {
+		gpus = "12,24,48,96"
+		fig3GPUs = "6,12,24,48,96"
+		n, sim, t2n, f2n = "32", "256", "32", "32"
+		iters = "1"
+		ablGPUs = "24"
+	}
+
+	jobs := []job{
+		{"table1.txt", []string{"run", "./cmd/precisions"}},
+		{"fig3.txt", []string{"run", "./cmd/alltoallbench", "-gpus", fig3GPUs, "-iters", iters}},
+		{"fig4.txt", []string{"run", "./cmd/fftbench", "-n", n, "-sim", sim, "-gpus", gpus, "-iters", "1"}},
+		{"table2.txt", []string{"run", "./cmd/accuracy", "-table2", "-n", t2n, "-gpus", gpus}},
+		{"fig2.txt", []string{"run", "./cmd/accuracy", "-fig2", "-n", f2n, "-fig2gpus", "12"}},
+		{"ablation.txt", []string{"run", "./cmd/ablation", "-gpus", ablGPUs}},
+	}
+	for _, j := range jobs {
+		start := time.Now()
+		fmt.Printf("sweep: %-12s ... ", j.file)
+		cmd := exec.Command("go", j.args...)
+		outBytes, err := cmd.CombinedOutput()
+		if err != nil {
+			fmt.Printf("FAILED (%v)\n%s", err, outBytes)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, j.file)
+		if err := os.WriteFile(path, outBytes, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("done in %.1fs → %s\n", time.Since(start).Seconds(), path)
+	}
+}

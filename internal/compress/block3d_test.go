@@ -1,0 +1,192 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// smoothField3D samples a band-limited smooth function.
+func smoothField3D(dims [3]int, seed int64) []float64 {
+	out := make([]float64, dims[0]*dims[1]*dims[2])
+	ph := float64(seed)
+	i := 0
+	for z := 0; z < dims[2]; z++ {
+		for y := 0; y < dims[1]; y++ {
+			for x := 0; x < dims[0]; x++ {
+				fx := float64(x) / float64(dims[0])
+				fy := float64(y) / float64(dims[1])
+				fz := float64(z) / float64(dims[2])
+				out[i] = math.Sin(2*math.Pi*(2*fx+fy)+ph) + 0.4*math.Cos(2*math.Pi*(fy+3*fz))
+				i++
+			}
+		}
+	}
+	return out
+}
+
+func randomField3D(dims [3]int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, dims[0]*dims[1]*dims[2])
+	for i := range out {
+		out[i] = rng.Float64()*2 - 1
+	}
+	return out
+}
+
+func roundTrip3D(t *testing.T, b Block3D, src []float64, dims [3]int) []float64 {
+	t.Helper()
+	buf := make([]byte, b.MaxCompressedLen(dims))
+	n := b.Compress(buf, src, dims)
+	if n > len(buf) {
+		t.Fatalf("wrote %d bytes, bound %d", n, len(buf))
+	}
+	out := make([]float64, len(src))
+	if used := b.Decompress(out, buf[:n], dims); used != n {
+		t.Fatalf("consumed %d, wrote %d", used, n)
+	}
+	return out
+}
+
+func TestBlock3DRoundTripWithinBound(t *testing.T) {
+	dims := [3]int{16, 12, 8}
+	src := randomField3D(dims, 1)
+	for _, bits := range []uint{10, 16, 24} {
+		b := Block3D{Bits: bits}
+		out := roundTrip3D(t, b, src, dims)
+		bound := b.ErrorBound() // relative to block max ≤ 1 here
+		for i := range src {
+			if math.Abs(out[i]-src[i]) > bound {
+				t.Fatalf("bits=%d: error %g above bound %g at %d", bits, math.Abs(out[i]-src[i]), bound, i)
+			}
+		}
+	}
+}
+
+func TestBlock3DNonMultipleOf4Dims(t *testing.T) {
+	for _, dims := range [][3]int{{5, 7, 9}, {1, 1, 1}, {4, 5, 4}, {13, 4, 6}} {
+		src := randomField3D(dims, 3)
+		out := roundTrip3D(t, Block3D{Bits: 20}, src, dims)
+		for i := range src {
+			if math.Abs(out[i]-src[i]) > 1e-3 {
+				t.Fatalf("dims %v: error at %d", dims, i)
+			}
+		}
+	}
+}
+
+func TestBlock3DZeroField(t *testing.T) {
+	dims := [3]int{8, 8, 8}
+	src := make([]float64, 512)
+	out := roundTrip3D(t, Block3D{Bits: 8}, src, dims)
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("zero field decoded %g at %d", v, i)
+		}
+	}
+}
+
+// TestBlock3DBeatsTruncationOnSmoothFields validates the paper's closing
+// hypothesis: at an equal wire rate, the spatial transform coder yields
+// lower error than plain mantissa truncation on smooth data.
+func TestBlock3DBeatsTruncationOnSmoothFields(t *testing.T) {
+	dims := [3]int{32, 32, 32}
+	src := smoothField3D(dims, 2)
+
+	b3 := Block3D{Bits: 14} // (8 + 64·14)/64 ≈ 14.1 bits/value
+	trim := Trim{M: 2}      // 14 bits/value
+	if math.Abs(b3.Ratio()-trim.Ratio()) > 0.15*trim.Ratio() {
+		t.Fatalf("rates not comparable: %g vs %g", b3.Ratio(), trim.Ratio())
+	}
+
+	out3 := roundTrip3D(t, b3, src, dims)
+	outT := roundTrip(t, trim, src)
+	rms3 := FieldRMS(out3, src)
+	rmsT := FieldRMS(outT, src)
+	if rms3 >= rmsT {
+		t.Errorf("Block3D RMS %g not below truncation RMS %g at equal rate", rms3, rmsT)
+	}
+	// The gain should be substantial on smooth data (≥ 4× lower RMS).
+	if rms3*4 > rmsT {
+		t.Logf("note: spatial gain only %.1fx", rmsT/rms3)
+	}
+}
+
+// TestBlock3DBeats1DBlockOnSmoothFields: the 3-D transform should also
+// beat the 1-D stream coder at equal rate (it sees correlation along all
+// axes).
+func TestBlock3DBeats1DBlockOnSmoothFields(t *testing.T) {
+	dims := [3]int{32, 32, 32}
+	src := smoothField3D(dims, 5)
+	b3 := Block3D{Bits: 14}
+	b1 := Block{Bits: 12} // (8+4·12)/4 = 14 bits/value
+	out3 := roundTrip3D(t, b3, src, dims)
+	out1 := roundTrip(t, b1, src)
+	if r3, r1 := FieldRMS(out3, src), FieldRMS(out1, src); r3 >= r1 {
+		t.Errorf("3-D coder RMS %g not below 1-D coder RMS %g", r3, r1)
+	}
+}
+
+func TestBlock3DOnRandomDataNoWorseThanBound(t *testing.T) {
+	// On incompressible data the coder degrades toward truncation, as
+	// §IV-A predicts; it must stay within its bound regardless.
+	dims := [3]int{16, 16, 16}
+	src := randomField3D(dims, 9)
+	b := Block3D{Bits: 18}
+	out := roundTrip3D(t, b, src, dims)
+	if rms := FieldRMS(out, src); rms > b.ErrorBound() {
+		t.Errorf("random-data RMS %g above bound %g", rms, b.ErrorBound())
+	}
+}
+
+func TestBlock3DSizeMatchesRatio(t *testing.T) {
+	dims := [3]int{16, 16, 16}
+	src := randomField3D(dims, 11)
+	b := Block3D{Bits: 16}
+	buf := make([]byte, b.MaxCompressedLen(dims))
+	n := b.Compress(buf, src, dims)
+	want := float64(8*len(src)) / b.Ratio()
+	if math.Abs(float64(n)-want) > 0.02*want+16 {
+		t.Errorf("compressed %d bytes, ratio implies %.0f", n, want)
+	}
+}
+
+func TestBlock3DDimsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Block3D{Bits: 8}.Compress(make([]byte, 1024), make([]float64, 10), [3]int{4, 4, 4})
+}
+
+func BenchmarkBlock3DVsTruncation(b *testing.B) {
+	dims := [3]int{32, 32, 32}
+	src := smoothField3D(dims, 1)
+	b.Run("block3d", func(b *testing.B) {
+		m := Block3D{Bits: 14}
+		buf := make([]byte, m.MaxCompressedLen(dims))
+		out := make([]float64, len(src))
+		b.SetBytes(int64(8 * len(src)))
+		var rms float64
+		for i := 0; i < b.N; i++ {
+			n := m.Compress(buf, src, dims)
+			m.Decompress(out, buf[:n], dims)
+		}
+		rms = FieldRMS(out, src)
+		b.ReportMetric(rms, "rms-err")
+	})
+	b.Run("truncation", func(b *testing.B) {
+		m := Trim{M: 2}
+		buf := make([]byte, m.MaxCompressedLen(len(src)))
+		out := make([]float64, len(src))
+		b.SetBytes(int64(8 * len(src)))
+		var rms float64
+		for i := 0; i < b.N; i++ {
+			n := m.Compress(buf, src)
+			m.Decompress(out, buf[:n])
+		}
+		rms = FieldRMS(out, src)
+		b.ReportMetric(rms, "rms-err")
+	})
+}

@@ -1,0 +1,312 @@
+// Package compress implements the message compression methods studied in
+// §IV of the paper: truncation casts (FP64→FP32, FP64→FP16, FP64→BF16),
+// generalized mantissa trimming with bit packing, a fixed-rate ZFP-like
+// block transform coder, and a lossless byte-shuffle/RLE coder used for
+// the paper's "fallback to the classical 3-D FFT" extension.
+//
+// All methods operate on []float64 payloads (a complex value is two
+// consecutive float64s) and produce byte streams suitable for the
+// all-to-all exchange. Fixed-rate methods (everything except Lossless)
+// have a size that depends only on the value count, which the one-sided
+// exchange relies on for window layout.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/precision"
+)
+
+// Method is a (possibly lossy) compressor for float64 payloads.
+type Method interface {
+	// Name identifies the method in reports ("FP64->FP32" etc.).
+	Name() string
+	// Ratio is the nominal compression ratio (uncompressed/compressed).
+	// Variable-rate methods report 1 (no guarantee).
+	Ratio() float64
+	// MaxCompressedLen bounds the compressed size in bytes of n values.
+	MaxCompressedLen(n int) int
+	// Compress encodes src into dst and returns the number of bytes
+	// written. dst must have at least MaxCompressedLen(len(src)) bytes.
+	Compress(dst []byte, src []float64) int
+	// Decompress decodes exactly n values into dst[:n] from src and
+	// returns the number of bytes consumed.
+	Decompress(dst []float64, src []byte) int
+	// ErrorBound returns the worst-case relative error introduced per
+	// value (0 for lossless), assuming values within the method's range.
+	ErrorBound() float64
+}
+
+// None is the identity method: a plain little-endian float64 copy.
+type None struct{}
+
+// Name implements Method.
+func (None) Name() string { return "FP64" }
+
+// Ratio implements Method.
+func (None) Ratio() float64 { return 1 }
+
+// MaxCompressedLen implements Method.
+func (None) MaxCompressedLen(n int) int { return 8 * n }
+
+// ErrorBound implements Method.
+func (None) ErrorBound() float64 { return 0 }
+
+// Compress implements Method.
+func (None) Compress(dst []byte, src []float64) int {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+	}
+	return 8 * len(src)
+}
+
+// Decompress implements Method.
+func (None) Decompress(dst []float64, src []byte) int {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return 8 * len(dst)
+}
+
+// Cast32 truncates FP64 to FP32 during communication (compression rate 2).
+type Cast32 struct{}
+
+// Name implements Method.
+func (Cast32) Name() string { return "FP64->FP32" }
+
+// Ratio implements Method.
+func (Cast32) Ratio() float64 { return 2 }
+
+// MaxCompressedLen implements Method.
+func (Cast32) MaxCompressedLen(n int) int { return 4 * n }
+
+// ErrorBound implements Method.
+func (Cast32) ErrorBound() float64 { return 6.0e-8 }
+
+// Compress implements Method.
+func (Cast32) Compress(dst []byte, src []float64) int {
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(float32(v)))
+	}
+	return 4 * len(src)
+}
+
+// Decompress implements Method.
+func (Cast32) Decompress(dst []float64, src []byte) int {
+	for i := range dst {
+		dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:])))
+	}
+	return 4 * len(dst)
+}
+
+// Cast16 truncates FP64 to IEEE FP16 (compression rate 4). Values outside
+// the FP16 range overflow to ±Inf exactly as a hardware cast would; the
+// FFT workloads of the paper keep data well within range.
+type Cast16 struct{}
+
+// Name implements Method.
+func (Cast16) Name() string { return "FP64->FP16" }
+
+// Ratio implements Method.
+func (Cast16) Ratio() float64 { return 4 }
+
+// MaxCompressedLen implements Method.
+func (Cast16) MaxCompressedLen(n int) int { return 2 * n }
+
+// ErrorBound implements Method.
+func (Cast16) ErrorBound() float64 { return 4.9e-4 }
+
+// Compress implements Method.
+func (Cast16) Compress(dst []byte, src []float64) int {
+	for i, v := range src {
+		binary.LittleEndian.PutUint16(dst[2*i:], uint16(precision.FromFloat64(v)))
+	}
+	return 2 * len(src)
+}
+
+// Decompress implements Method.
+func (Cast16) Decompress(dst []float64, src []byte) int {
+	for i := range dst {
+		dst[i] = precision.Float16(binary.LittleEndian.Uint16(src[2*i:])).Float64()
+	}
+	return 2 * len(dst)
+}
+
+// CastBF16 truncates FP64 to bfloat16 (compression rate 4, full FP32
+// exponent range, 8-bit mantissa).
+type CastBF16 struct{}
+
+// Name implements Method.
+func (CastBF16) Name() string { return "FP64->BF16" }
+
+// Ratio implements Method.
+func (CastBF16) Ratio() float64 { return 4 }
+
+// MaxCompressedLen implements Method.
+func (CastBF16) MaxCompressedLen(n int) int { return 2 * n }
+
+// ErrorBound implements Method.
+func (CastBF16) ErrorBound() float64 { return 3.9e-3 }
+
+// Compress implements Method.
+func (CastBF16) Compress(dst []byte, src []float64) int {
+	for i, v := range src {
+		binary.LittleEndian.PutUint16(dst[2*i:], uint16(precision.BFromFloat64(v)))
+	}
+	return 2 * len(src)
+}
+
+// Decompress implements Method.
+func (CastBF16) Decompress(dst []float64, src []byte) int {
+	for i := range dst {
+		dst[i] = precision.BFloat16(binary.LittleEndian.Uint16(src[2*i:])).Float64()
+	}
+	return 2 * len(dst)
+}
+
+// Trim keeps the sign, the full 11-bit exponent, and M mantissa bits of
+// each float64, bit-packed to ceil((12+M)/8·n) bytes. It realizes the
+// mantissa-trimming sweep of Fig. 2 with an actually reduced wire size.
+type Trim struct {
+	// M is the number of retained mantissa bits, 0..52.
+	M uint
+}
+
+// Name implements Method.
+func (t Trim) Name() string { return fmt.Sprintf("Trim(%d)", t.M) }
+
+// BitsPerValue returns the packed width of one value.
+func (t Trim) BitsPerValue() int { return 12 + int(t.M) }
+
+// Ratio implements Method.
+func (t Trim) Ratio() float64 { return 64 / float64(t.BitsPerValue()) }
+
+// MaxCompressedLen implements Method.
+func (t Trim) MaxCompressedLen(n int) int {
+	return (n*t.BitsPerValue() + 7) / 8
+}
+
+// ErrorBound implements Method.
+func (t Trim) ErrorBound() float64 { return precision.TrimUnitRoundoff(t.M) }
+
+// Compress implements Method.
+func (t Trim) Compress(dst []byte, src []float64) int {
+	w := bitWriter{buf: dst}
+	width := uint(t.BitsPerValue())
+	shift := 52 - t.M
+	for _, v := range src {
+		b := math.Float64bits(precision.TrimFloat64(v, t.M))
+		// Layout: sign(1) | exponent(11) | top M mantissa bits.
+		packed := b >> shift
+		w.write(packed, width)
+	}
+	return w.flush()
+}
+
+// Decompress implements Method.
+func (t Trim) Decompress(dst []float64, src []byte) int {
+	r := bitReader{buf: src}
+	width := uint(t.BitsPerValue())
+	shift := 52 - t.M
+	for i := range dst {
+		packed := r.read(width)
+		dst[i] = math.Float64frombits(packed << shift)
+	}
+	return r.consumed()
+}
+
+type bitWriter struct {
+	buf  []byte
+	acc  uint64
+	bits uint
+	n    int
+}
+
+func (w *bitWriter) write(v uint64, width uint) {
+	if width > 32 {
+		w.write(v&0xffffffff, 32)
+		w.write(v>>32, width-32)
+		return
+	}
+	w.acc |= v << w.bits
+	w.bits += width
+	for w.bits >= 8 {
+		w.buf[w.n] = byte(w.acc)
+		w.n++
+		w.acc >>= 8
+		w.bits -= 8
+	}
+}
+
+func (w *bitWriter) flush() int {
+	if w.bits > 0 {
+		w.buf[w.n] = byte(w.acc)
+		w.n++
+		w.acc = 0
+		w.bits = 0
+	}
+	return w.n
+}
+
+type bitReader struct {
+	buf  []byte
+	acc  uint64
+	bits uint
+	n    int
+}
+
+func (r *bitReader) read(width uint) uint64 {
+	if width > 32 {
+		lo := r.read(32)
+		hi := r.read(width - 32)
+		return lo | hi<<32
+	}
+	for r.bits < width {
+		r.acc |= uint64(r.buf[r.n]) << r.bits
+		r.n++
+		r.bits += 8
+	}
+	v := r.acc & (1<<width - 1)
+	r.acc >>= width
+	r.bits -= width
+	return v
+}
+
+func (r *bitReader) consumed() int { return r.n }
+
+// FromTolerance selects the method with the highest compression ratio
+// whose worst-case relative error stays at or below etol, following
+// §III's error-control contract: the largest compression that still
+// meets the user's e_tol. Hardware casts are preferred over bit-packed
+// trimming at equal ratio (BF16 over FP16 for its wider range, matching
+// the dynamic range FFT spectra develop). etol ≤ 0, or tighter than
+// FP64 resolution, selects no compression.
+func FromTolerance(etol float64) Method {
+	if etol <= 0 {
+		return None{}
+	}
+	switch {
+	case etol >= (CastBF16{}).ErrorBound():
+		return CastBF16{}
+	case etol >= (Cast16{}).ErrorBound():
+		return Cast16{}
+	}
+	// Smallest m with trim unit roundoff 2^-(m+1) ≤ etol.
+	m := uint(0)
+	for m < 52 && precision.TrimUnitRoundoff(m) > etol {
+		m++
+	}
+	if m >= 52 {
+		return None{} // nothing to trim: full FP64 needed
+	}
+	t := Trim{M: m}
+	if t.Ratio() > (Cast32{}).Ratio() {
+		return t
+	}
+	if etol >= (Cast32{}).ErrorBound() {
+		return Cast32{}
+	}
+	return t
+}

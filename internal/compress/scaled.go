@@ -1,0 +1,65 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Scaled wraps a narrow-range method (typically Cast16) with a per-message
+// scale factor so that values whose magnitude exceeds the inner format's
+// range — FFT spectra grow like √N — are normalized into range before the
+// cast, in the spirit of the dynamically scaled FP16 splitting of
+// Sorna et al. (paper ref. [8]). The scale (8 bytes) is carried in a
+// per-message header.
+type Scaled struct {
+	Inner Method
+}
+
+// Name implements Method.
+func (s Scaled) Name() string { return "Scaled(" + s.Inner.Name() + ")" }
+
+// Ratio implements Method.
+func (s Scaled) Ratio() float64 { return s.Inner.Ratio() }
+
+// MaxCompressedLen implements Method.
+func (s Scaled) MaxCompressedLen(n int) int { return 8 + s.Inner.MaxCompressedLen(n) }
+
+// ErrorBound implements Method.
+func (s Scaled) ErrorBound() float64 { return s.Inner.ErrorBound() }
+
+// Compress implements Method.
+func (s Scaled) Compress(dst []byte, src []float64) int {
+	maxAbs := 0.0
+	for _, v := range src {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := 1.0
+	if maxAbs > 0 {
+		// Normalize the largest magnitude to ~1 using a power of two so
+		// that scaling is exact in binary floating point.
+		scale = math.Ldexp(1, -ilogb(maxAbs))
+	}
+	binary.LittleEndian.PutUint64(dst, math.Float64bits(scale))
+	scaled := make([]float64, len(src))
+	for i, v := range src {
+		scaled[i] = v * scale
+	}
+	return 8 + s.Inner.Compress(dst[8:], scaled)
+}
+
+// Decompress implements Method.
+func (s Scaled) Decompress(dst []float64, src []byte) int {
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(src))
+	n := s.Inner.Decompress(dst, src[8:])
+	inv := 1 / scale
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return 8 + n
+}
+
+func ilogb(x float64) int {
+	return int(math.Floor(math.Log2(x)))
+}

@@ -1,0 +1,98 @@
+// Package core implements the paper's approximate distributed 3-D FFT
+// (Algorithm 1) in the architecture of heFFTe: input bricks are reshaped
+// to x-pencils, transformed, reshaped to y-pencils, transformed,
+// reshaped to z-pencils, transformed, and reshaped back to bricks
+// (Fig. 1 — the general four-reshape case). Each reshape runs through a
+// pluggable all-to-all backend: the classical MPI_Alltoallv baseline,
+// the one-sided OSC ring of Algorithm 3, or the compressed OSC exchange
+// whose lossy compression realizes the accuracy/speed trade-off, with
+// the error controlled by a user tolerance (§III).
+package core
+
+import (
+	"repro/internal/compress"
+	"repro/internal/gpu"
+)
+
+// Backend selects the all-to-all implementation used by the reshapes.
+type Backend int
+
+const (
+	// BackendAlltoallv is the classical two-sided MPI_Alltoallv (the
+	// solid-line references of Fig. 4).
+	BackendAlltoallv Backend = iota
+	// BackendOSC is the one-sided ring of Algorithm 3, uncompressed.
+	BackendOSC
+	// BackendCompressed is the one-sided ring with lossy compression
+	// pipelined into the transfer (the paper's contribution). FP64
+	// pipelines only.
+	BackendCompressed
+	// BackendCompressedTwoSided applies the same compression over the
+	// classical two-sided all-to-all (no pipeline) — the ablation that
+	// separates the compression gain from the one-sided transport gain.
+	// FP64 pipelines only.
+	BackendCompressedTwoSided
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendAlltoallv:
+		return "alltoallv"
+	case BackendOSC:
+		return "osc"
+	case BackendCompressed:
+		return "osc+compression"
+	case BackendCompressedTwoSided:
+		return "alltoallv+compression"
+	}
+	return "unknown"
+}
+
+// Options configures a Plan.
+type Options struct {
+	// Backend selects the reshape all-to-all implementation.
+	Backend Backend
+	// Method is the compression method for BackendCompressed. If nil,
+	// it is derived from Tolerance via compress.FromTolerance.
+	Method compress.Method
+	// Tolerance is the user error tolerance e_tol of Algorithm 1; used
+	// only when Method is nil.
+	Tolerance float64
+	// Chunks is the §V-B pipeline depth (compression kernels per
+	// exchange). 0 selects the default of 8.
+	Chunks int
+	// Pipelined disables the compression/communication overlap when
+	// false... it defaults to true via NewPlan; set DisablePipeline to
+	// turn it off for ablations.
+	DisablePipeline bool
+	// Device is the GPU model; the zero value selects gpu.V100().
+	Device gpu.Device
+	// PencilIO selects the reduced-reshape configuration the paper's
+	// introduction describes: the caller provides input already shaped
+	// as x-pencils (stride-1 in x) and accepts output left as z-pencils
+	// (stride-1 in z), cutting the reshape count from four to two.
+	PencilIO bool
+	// SimScale runs the time plane at a problem SimScale× larger per
+	// dimension than the data plane: transfers, kernels, and the flop
+	// metric are charged as if each axis had SimScale·n points, while
+	// the real data (and hence the accuracy results) stays at n. This
+	// lets the harness reproduce the paper's 1024³ performance regime
+	// with laptop-sized arrays (see DESIGN.md). 0 or 1 disables scaling.
+	SimScale int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Chunks == 0 {
+		o.Chunks = 8
+	}
+	if o.SimScale == 0 {
+		o.SimScale = 1
+	}
+	if o.Device == (gpu.Device{}) {
+		o.Device = gpu.V100()
+	}
+	if (o.Backend == BackendCompressed || o.Backend == BackendCompressedTwoSided) && o.Method == nil {
+		o.Method = compress.FromTolerance(o.Tolerance)
+	}
+	return o
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// TestPencilIOMatchesSerial validates the reduced-reshape pipeline
+// against the serial transform, gathering from z-pencil output.
+func TestPencilIOMatchesSerial(t *testing.T) {
+	for _, ranks := range []int{1, 6, 12} {
+		n := [3]int{8, 12, 8}
+		want := serialReference(n, 1)
+		got := make([]complex128, n[0]*n[1]*n[2])
+		mpi.Run(machine(ranks), func(c *mpi.Comm) {
+			pl := NewPlan[complex128](c, n, Options{Backend: BackendAlltoallv, PencilIO: true})
+			in := make([]complex128, pl.InBox().Count())
+			FillBox(in, pl.InBox(), pl.InOrder(), 1)
+			out := pl.Forward(in)
+			b := pl.OutBox()
+			o := pl.OutOrder()
+			for i := b.Lo[0]; i < b.Hi[0]; i++ {
+				for j := b.Lo[1]; j < b.Hi[1]; j++ {
+					for k := b.Lo[2]; k < b.Hi[2]; k++ {
+						got[i+n[0]*(j+n[1]*k)] = out[o.Index(b, [3]int{i, j, k})]
+					}
+				}
+			}
+		})
+		if e := maxRelErr(got, want); e > 1e-12 {
+			t.Errorf("ranks=%d: pencil-IO error vs serial %g", ranks, e)
+		}
+	}
+}
+
+func TestPencilIORoundTrip(t *testing.T) {
+	mpi.Run(machine(6), func(c *mpi.Comm) {
+		n := [3]int{8, 8, 8}
+		pl := NewPlan[complex128](c, n, Options{Backend: BackendCompressed, Method: compress.None{}, PencilIO: true})
+		in := make([]complex128, pl.InBox().Count())
+		FillBox(in, pl.InBox(), pl.InOrder(), 3)
+		spec := append([]complex128(nil), pl.Forward(in)...)
+		back := pl.Backward(spec)
+		for i := range in {
+			if cmplx.Abs(back[i]-in[i]) > 1e-12 {
+				t.Fatalf("pencil round trip error %g at %d", cmplx.Abs(back[i]-in[i]), i)
+			}
+		}
+	})
+}
+
+// TestPencilIOInputUntouched: Forward must not mutate the caller's input
+// even though the first FFT stage has no preceding reshape.
+func TestPencilIOInputUntouched(t *testing.T) {
+	mpi.Run(machine(6), func(c *mpi.Comm) {
+		n := [3]int{8, 8, 8}
+		pl := NewPlan[complex128](c, n, Options{Backend: BackendAlltoallv, PencilIO: true})
+		in := make([]complex128, pl.InBox().Count())
+		FillBox(in, pl.InBox(), pl.InOrder(), 5)
+		orig := append([]complex128(nil), in...)
+		pl.Forward(in)
+		for i := range in {
+			if in[i] != orig[i] {
+				t.Fatalf("input mutated at %d", i)
+			}
+		}
+	})
+}
+
+// TestPencilIOHalvesReshapeTraffic: with two reshapes instead of four,
+// the exchanged volume drops accordingly.
+func TestPencilIOHalvesReshapeTraffic(t *testing.T) {
+	n := [3]int{16, 16, 16}
+	cfg := machine(12)
+	full := Measure[complex128](cfg, n, Options{Backend: BackendAlltoallv}, 1, false)
+	pencil := Measure[complex128](cfg, n, Options{Backend: BackendAlltoallv, PencilIO: true}, 1, false)
+	fullVol := full.Stats.BytesInter + full.Stats.BytesIntra + full.Stats.BytesLocal
+	pencilVol := pencil.Stats.BytesInter + pencil.Stats.BytesIntra + pencil.Stats.BytesLocal
+	if pencilVol >= fullVol*3/4 {
+		t.Errorf("pencil IO volume %d not clearly below brick IO volume %d", pencilVol, fullVol)
+	}
+	if pencil.ForwardTime >= full.ForwardTime {
+		t.Errorf("pencil IO %.3g not faster than brick IO %.3g", pencil.ForwardTime, full.ForwardTime)
+	}
+}
+
+func TestPencilIOBoxes(t *testing.T) {
+	mpi.Run(machine(6), func(c *mpi.Comm) {
+		n := [3]int{8, 8, 8}
+		pl := NewPlan[complex128](c, n, Options{Backend: BackendAlltoallv, PencilIO: true})
+		if pl.InBox().Size(0) != n[0] {
+			t.Errorf("input box %v is not an x-pencil", pl.InBox())
+		}
+		if pl.OutBox().Size(2) != n[2] {
+			t.Errorf("output box %v is not a z-pencil", pl.OutBox())
+		}
+		if pl.InOrder() != grid.ForAxis(0) || pl.OutOrder() != grid.ForAxis(2) {
+			t.Error("pencil orders wrong")
+		}
+	})
+}
+
+// TestPencilIOWithCompression: the accuracy contract holds in the
+// reduced-reshape configuration too (two compressed exchanges).
+func TestPencilIOWithCompression(t *testing.T) {
+	cfg := machine(12)
+	n := [3]int{16, 16, 16}
+	r := Measure[complex128](cfg, n, Options{
+		Backend: BackendCompressed, Method: compress.Cast32{}, PencilIO: true,
+	}, 0, true)
+	if r.RelErr > 1e-6 || r.RelErr < 1e-9 {
+		t.Errorf("pencil compressed round-trip error %g outside FP32-truncation band", r.RelErr)
+	}
+	// Fewer compressed reshapes: error should be at or below the
+	// four-reshape configuration's.
+	rFull := Measure[complex128](cfg, n, Options{
+		Backend: BackendCompressed, Method: compress.Cast32{},
+	}, 0, true)
+	if r.RelErr > rFull.RelErr*1.5 {
+		t.Errorf("pencil error %g above brick error %g", r.RelErr, rFull.RelErr)
+	}
+}
+
+// TestPencilIOFP32Pipeline runs the FP32 pipeline in pencil mode.
+func TestPencilIOFP32Pipeline(t *testing.T) {
+	mpi.Run(machine(6), func(c *mpi.Comm) {
+		n := [3]int{8, 8, 8}
+		pl := NewPlan[complex64](c, n, Options{Backend: BackendOSC, PencilIO: true})
+		in := make([]complex64, pl.InBox().Count())
+		FillBox(in, pl.InBox(), pl.InOrder(), 7)
+		spec := append([]complex64(nil), pl.Forward(in)...)
+		back := pl.Backward(spec)
+		for i := range in {
+			if cmplx.Abs(complex128(back[i]-in[i])) > 1e-4 {
+				t.Fatalf("FP32 pencil round trip error too large at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,561 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/compress"
+	"repro/internal/exchange"
+	"repro/internal/fft"
+	"repro/internal/gpu"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// Plan is a distributed 3-D FFT plan over all ranks of a communicator.
+// C selects the pipeline precision: complex128 for FP64 (required by
+// BackendCompressed) or complex64 for the genuine FP32 reference.
+// A plan owns cached windows and staging buffers; construct once and
+// reuse. Plans are collective: all ranks must construct with identical
+// arguments.
+type Plan[C fft.Complex] struct {
+	c      *mpi.Comm
+	n      [3]int
+	opts   Options
+	stream *gpu.Stream
+
+	boxes  [5][]grid.Box // in, x-pencils, y-pencils, z-pencils, out
+	orders [5]grid.Order
+	// simBoxes mirror boxes for the SimScale-enlarged grid; the time
+	// plane draws message sizes and kernel volumes from these while the
+	// data plane uses boxes.
+	simBoxes [5][]grid.Box
+
+	fwd [4]*reshape[C]
+	bwd [4]*reshape[C]
+
+	fftPlans [3]*fft.Plan[C]
+	batch    [3]int
+	precBits int
+	// pencilScratch holds the PencilIO first-stage working copy.
+	pencilScratch []C
+	profile       Profile
+}
+
+// Profile breaks one transform's virtual time into phases — the
+// communication share it exposes is the paper's motivating observation
+// (§I: at scale, more than 95% of the runtime is the all-to-all).
+type Profile struct {
+	Pack     float64 // packing/reordering kernels
+	Exchange float64 // all-to-all, including in-transfer (de)compression
+	Unpack   float64 // unpacking kernels
+	FFT      float64 // 1-D FFT kernels
+	Scale    float64 // inverse normalization
+}
+
+// Total returns the profiled wall (virtual) time.
+func (p Profile) Total() float64 {
+	return p.Pack + p.Exchange + p.Unpack + p.FFT + p.Scale
+}
+
+// CommFraction returns the share of time spent in the exchanges.
+func (p Profile) CommFraction() float64 {
+	t := p.Total()
+	if t == 0 {
+		return 0
+	}
+	return p.Exchange / t
+}
+
+// LastProfile returns the phase breakdown of the most recent Forward or
+// Backward call on this rank.
+func (pl *Plan[C]) LastProfile() Profile { return pl.profile }
+
+// NewPlan collectively builds a plan for an n[0]×n[1]×n[2] transform.
+func NewPlan[C fft.Complex](c *mpi.Comm, n [3]int, opts Options) *Plan[C] {
+	opts = opts.withDefaults()
+	p := c.Size()
+	pl := &Plan[C]{c: c, n: n, opts: opts}
+	var zero C
+	pl.precBits = 64
+	if _, ok := any(zero).(complex64); ok {
+		pl.precBits = 32
+		if opts.Backend == BackendCompressed || opts.Backend == BackendCompressedTwoSided {
+			panic("core: compressed backends require the FP64 pipeline")
+		}
+	}
+	pl.stream = gpu.NewStream(opts.Device, c)
+
+	pl.boxes[0] = grid.Bricks(n, grid.Factor3(p))
+	pl.boxes[1] = grid.Pencils(n, 0, p)
+	pl.boxes[2] = grid.Pencils(n, 1, p)
+	pl.boxes[3] = grid.Pencils(n, 2, p)
+	pl.boxes[4] = pl.boxes[0]
+	ns := [3]int{opts.SimScale * n[0], opts.SimScale * n[1], opts.SimScale * n[2]}
+	pl.simBoxes[0] = grid.Bricks(ns, grid.Factor3(p))
+	pl.simBoxes[1] = grid.Pencils(ns, 0, p)
+	pl.simBoxes[2] = grid.Pencils(ns, 1, p)
+	pl.simBoxes[3] = grid.Pencils(ns, 2, p)
+	pl.simBoxes[4] = pl.simBoxes[0]
+	pl.orders = [5]grid.Order{grid.Natural, grid.ForAxis(0), grid.ForAxis(1), grid.ForAxis(2), grid.Natural}
+
+	if opts.PencilIO {
+		// Reduced-reshape configuration: x-pencil input, z-pencil
+		// output, so only the x→y and y→z redistributions remain.
+		pl.fwd[0] = newReshape[C](pl, 1, 2)
+		pl.fwd[1] = newReshape[C](pl, 2, 3)
+		pl.bwd[0] = newReshape[C](pl, 3, 2)
+		pl.bwd[1] = newReshape[C](pl, 2, 1)
+	} else {
+		for s := 0; s < 4; s++ {
+			pl.fwd[s] = newReshape[C](pl, s, s+1)
+		}
+		for s := 0; s < 4; s++ {
+			pl.bwd[s] = newReshape[C](pl, 4-s, 3-s)
+		}
+	}
+	me := c.Rank()
+	for axis := 0; axis < 3; axis++ {
+		pl.fftPlans[axis] = fft.NewPlan[C](n[axis])
+		pl.batch[axis] = pl.boxes[axis+1][me].Count() / n[axis]
+	}
+	if opts.PencilIO {
+		pl.pencilScratch = make([]C, 0, pl.boxes[1][me].Count())
+	}
+	return pl
+}
+
+// InBox returns this rank's share of the input decomposition: a brick in
+// the general configuration, an x-pencil with Options.PencilIO. The
+// input of Forward is its data laid out with InOrder.
+func (pl *Plan[C]) InBox() grid.Box {
+	if pl.opts.PencilIO {
+		return pl.boxes[1][pl.c.Rank()]
+	}
+	return pl.boxes[0][pl.c.Rank()]
+}
+
+// InOrder returns the memory layout of Forward's input (natural order in
+// both configurations — an x-pencil is stride-1 in x already).
+func (pl *Plan[C]) InOrder() grid.Order { return pl.orders[pl.inStage()] }
+
+// OutBox returns this rank's share of the output decomposition: equal to
+// InBox in the general four-reshape configuration, a z-pencil with
+// Options.PencilIO.
+func (pl *Plan[C]) OutBox() grid.Box {
+	if pl.opts.PencilIO {
+		return pl.boxes[3][pl.c.Rank()]
+	}
+	return pl.boxes[4][pl.c.Rank()]
+}
+
+// OutOrder returns the memory layout of Forward's output (z-fastest for
+// the z-pencil output of the PencilIO configuration).
+func (pl *Plan[C]) OutOrder() grid.Order {
+	if pl.opts.PencilIO {
+		return pl.orders[3]
+	}
+	return pl.orders[4]
+}
+
+func (pl *Plan[C]) inStage() int {
+	if pl.opts.PencilIO {
+		return 1
+	}
+	return 0
+}
+
+// N returns the global transform shape.
+func (pl *Plan[C]) N() [3]int { return pl.n }
+
+// Method returns the compression method the reshapes use (None for the
+// uncompressed backends).
+func (pl *Plan[C]) Method() compress.Method {
+	if pl.opts.Backend == BackendCompressed || pl.opts.Backend == BackendCompressedTwoSided {
+		return pl.opts.Method
+	}
+	return compress.None{}
+}
+
+// FlopCount returns the 5·N·log2(N) flop estimate of one transform.
+func (pl *Plan[C]) FlopCount() float64 {
+	return fft.FlopCount(pl.n[0] * pl.n[1] * pl.n[2])
+}
+
+// Forward computes the forward 3-D FFT of in (this rank's InBox data,
+// InOrder layout; unscaled output in OutBox/OutOrder layout). in is not
+// modified. The returned buffer is owned by the plan and valid until
+// the next Forward/Backward call.
+func (pl *Plan[C]) Forward(in []C) []C {
+	if len(in) != pl.InBox().Count() {
+		panic("core: Forward input length does not match InBox")
+	}
+	return pl.run(in, fft.Forward)
+}
+
+// Backward computes the inverse 3-D FFT (scaled by 1/(n0·n1·n2)), taking
+// OutBox data and returning InBox data.
+func (pl *Plan[C]) Backward(in []C) []C {
+	if len(in) != pl.OutBox().Count() {
+		panic("core: Backward input length does not match OutBox")
+	}
+	out := pl.run(in, fft.Inverse)
+	scale := 1 / float64(pl.n[0]*pl.n[1]*pl.n[2])
+	s := complexAs[C](scale)
+	simCount := pl.simBoxes[pl.inStage()][pl.c.Rank()].Count()
+	t0 := pl.c.Now()
+	pl.stream.Launch(pl.opts.Device.CopyCost(simCount*pl.elemSize()), func() {
+		for i := range out {
+			out[i] *= s
+		}
+	})
+	pl.stream.Synchronize()
+	pl.profile.Scale += pl.c.Now() - t0
+	return out
+}
+
+func (pl *Plan[C]) run(in []C, sign int) []C {
+	pl.profile = Profile{}
+	if pl.opts.PencilIO {
+		return pl.runPencil(in, sign)
+	}
+	data := in
+	if sign == fft.Forward {
+		for axis := 0; axis < 3; axis++ {
+			data = pl.fwd[axis].execute(data)
+			pl.fftStage(data, axis, sign)
+		}
+		return pl.fwd[3].execute(data)
+	}
+	for s := 0; s < 4; s++ {
+		data = pl.bwd[s].execute(data)
+		if s < 3 {
+			axis := 2 - s
+			pl.fftStage(data, axis, sign)
+		}
+	}
+	return data
+}
+
+// runPencil is the two-reshape pipeline: the first FFT stage runs
+// directly on the pencil-shaped input (forward) or output (inverse).
+// The first stage must not modify the caller's buffer, so it transforms
+// into a scratch copy.
+func (pl *Plan[C]) runPencil(in []C, sign int) []C {
+	if sign == fft.Forward {
+		data := append(pl.pencilScratch[:0], in...)
+		pl.fftStage(data, 0, sign)
+		data = pl.fwd[0].execute(data) // x → y pencils
+		pl.fftStage(data, 1, sign)
+		data = pl.fwd[1].execute(data) // y → z pencils
+		pl.fftStage(data, 2, sign)
+		return data
+	}
+	data := append(pl.pencilScratch[:0], in...)
+	pl.fftStage(data, 2, sign)
+	data = pl.bwd[0].execute(data) // z → y pencils
+	pl.fftStage(data, 1, sign)
+	data = pl.bwd[1].execute(data) // y → x pencils
+	pl.fftStage(data, 0, sign)
+	return data
+}
+
+// fftStage runs the batched 1-D FFTs of one direction on the GPU
+// timeline (data is pencil-resident with the transform axis stride-1).
+// In scaled-volume mode the kernel cost is that of the simulated pencil
+// (SimScale·n-point transforms over this rank's simulated batch).
+func (pl *Plan[C]) fftStage(data []C, axis, sign int) {
+	s := pl.opts.SimScale
+	simLen := s * pl.n[axis]
+	simBatch := pl.simBoxes[axis+1][pl.c.Rank()].Count() / simLen
+	cost := pl.opts.Device.FFTCost(simLen, simBatch, pl.precBits)
+	t0 := pl.c.Now()
+	pl.stream.Launch(cost, func() {
+		pl.fftPlans[axis].Batch(data, pl.batch[axis], sign)
+	})
+	pl.stream.Synchronize()
+	pl.profile.FFT += pl.c.Now() - t0
+}
+
+func (pl *Plan[C]) elemSize() int {
+	if pl.precBits == 32 {
+		return 8
+	}
+	return 16
+}
+
+// reshape moves data between two decompositions through the configured
+// all-to-all backend.
+type reshape[C fft.Complex] struct {
+	pl        *Plan[C]
+	plan      grid.Plan
+	fromBox   grid.Box
+	fromOrder grid.Order
+	toBox     grid.Box
+	toOrder   grid.Order
+	// Simulated volumes of this rank's pack/unpack (scaled-volume mode).
+	simSendTotal, simRecvTotal int
+	// simLogical gives per-destination logical wire bytes.
+	simLogical []int
+
+	// Byte backends.
+	sendBytes   [][]byte
+	recvNonzero []bool
+	osc         *exchange.OSC
+	// Compressed backends.
+	sendVals [][]float64
+	cosc     *exchange.CompressedOSC
+	c2s      *exchange.TwoSidedCompressed
+	// Scratch for packing into complex elements before conversion.
+	packBuf []C
+	outBuf  []C
+}
+
+func newReshape[C fft.Complex](pl *Plan[C], fromStage, toStage int) *reshape[C] {
+	from, to := pl.boxes[fromStage], pl.boxes[toStage]
+	simFrom, simTo := pl.simBoxes[fromStage], pl.simBoxes[toStage]
+	fromOrder, toOrder := pl.orders[fromStage], pl.orders[toStage]
+	me := pl.c.Rank()
+	r := &reshape[C]{
+		pl:        pl,
+		plan:      grid.NewPlan(me, from, to),
+		fromBox:   from[me],
+		fromOrder: fromOrder,
+		toBox:     to[me],
+		toOrder:   toOrder,
+	}
+	p := pl.c.Size()
+	elem := pl.elemSize()
+	overlap := func(dst, src int) int { return grid.Intersect(from[src], to[dst]).Count() }
+	simOverlap := func(dst, src int) int { return grid.Intersect(simFrom[src], simTo[dst]).Count() }
+	simPlan := grid.NewPlan(me, simFrom, simTo)
+	r.simSendTotal, r.simRecvTotal = simPlan.SendTotal, simPlan.RecvTotal
+	r.simLogical = make([]int, p)
+	for _, t := range simPlan.Send {
+		r.simLogical[t.Rank] = elem * t.Count
+	}
+
+	maxPack := 0
+	for _, t := range r.plan.Send {
+		if t.Count > maxPack {
+			maxPack = t.Count
+		}
+	}
+	for _, t := range r.plan.Recv {
+		if t.Count > maxPack {
+			maxPack = t.Count
+		}
+	}
+	r.packBuf = make([]C, maxPack)
+	r.outBuf = make([]C, r.toBox.Count())
+
+	switch pl.opts.Backend {
+	case BackendAlltoallv:
+		r.sendBytes = make([][]byte, p)
+		r.recvNonzero = make([]bool, p)
+		for _, t := range r.plan.Recv {
+			r.recvNonzero[t.Rank] = true
+		}
+	case BackendOSC:
+		r.sendBytes = make([][]byte, p)
+		r.osc = exchange.NewOSC(pl.c, func(dst, src int) int { return elem * overlap(dst, src) }, true)
+		if pl.opts.SimScale > 1 {
+			r.osc.Logical = func(dst, src int) int { return elem * simOverlap(dst, src) }
+		}
+	case BackendCompressed:
+		r.sendVals = make([][]float64, p)
+		// Scale the pipeline depth to the payload: one chunk per 256 KB
+		// of send data (capped at the configured depth) so that tiny
+		// exchanges do not pay per-kernel overhead for overlap they
+		// cannot use.
+		chunks := r.simSendTotal * elem / (256 << 10)
+		if chunks < 1 {
+			chunks = 1
+		}
+		if chunks > pl.opts.Chunks {
+			chunks = pl.opts.Chunks
+		}
+		r.cosc = exchange.NewCompressedOSC(pl.c, pl.opts.Method, pl.stream, chunks,
+			func(dst, src int) int { return 2 * overlap(dst, src) })
+		r.cosc.Pipelined = !pl.opts.DisablePipeline
+		if pl.opts.SimScale > 1 {
+			r.cosc.SimCounts = func(dst, src int) int { return 2 * simOverlap(dst, src) }
+		}
+	case BackendCompressedTwoSided:
+		r.sendVals = make([][]float64, p)
+		r.c2s = exchange.NewTwoSidedCompressed(pl.c, pl.opts.Method, pl.stream,
+			func(dst, src int) int { return 2 * overlap(dst, src) })
+		if pl.opts.SimScale > 1 {
+			r.c2s.SimCounts = func(dst, src int) int { return 2 * simOverlap(dst, src) }
+		}
+	}
+	return r
+}
+
+// execute performs the reshape: pack (GPU), exchange (backend), unpack
+// (GPU). The returned buffer is owned by the reshape and valid until its
+// next execution.
+func (r *reshape[C]) execute(local []C) []C {
+	pl := r.pl
+	dev := pl.opts.Device
+	me := pl.c.Rank()
+	tPack := pl.c.Now()
+
+	// Pack every destination's overlap, reordered to the target layout.
+	switch pl.opts.Backend {
+	case BackendCompressed, BackendCompressedTwoSided:
+		for i := range r.sendVals {
+			r.sendVals[i] = nil
+		}
+		pl.stream.Launch(dev.CopyCost(r.simSendTotal*pl.elemSize()), func() {
+			for _, t := range r.plan.Send {
+				buf := make([]float64, 2*t.Count)
+				grid.Pack(local, r.fromBox, r.fromOrder, t.Sub, r.toOrder, r.packBuf[:t.Count])
+				complexToFloats(r.packBuf[:t.Count], buf)
+				r.sendVals[t.Rank] = buf
+			}
+		})
+		// Fill empty destinations with zero-length slices (plan demands
+		// exact counts).
+		for d := range r.sendVals {
+			if r.sendVals[d] == nil {
+				r.sendVals[d] = []float64{}
+			}
+		}
+	default:
+		for i := range r.sendBytes {
+			r.sendBytes[i] = nil
+		}
+		pl.stream.Launch(dev.CopyCost(r.simSendTotal*pl.elemSize()), func() {
+			for _, t := range r.plan.Send {
+				grid.Pack(local, r.fromBox, r.fromOrder, t.Sub, r.toOrder, r.packBuf[:t.Count])
+				r.sendBytes[t.Rank] = complexToBytes(r.packBuf[:t.Count])
+			}
+		})
+		for d := range r.sendBytes {
+			if r.sendBytes[d] == nil {
+				r.sendBytes[d] = []byte{}
+			}
+		}
+	}
+	pl.stream.Synchronize()
+	tExchange := pl.c.Now()
+	pl.profile.Pack += tExchange - tPack
+
+	// Exchange.
+	var recvBytes [][]byte
+	var recvVals [][]float64
+	switch pl.opts.Backend {
+	case BackendAlltoallv:
+		var logical []int
+		if pl.opts.SimScale > 1 {
+			logical = r.simLogical
+		}
+		recvBytes = pl.c.AlltoallvSparse(r.sendBytes, r.recvNonzero, logical)
+	case BackendOSC:
+		recvBytes = r.osc.Exchange(r.sendBytes)
+	case BackendCompressed:
+		recvVals = r.cosc.Exchange(r.sendVals)
+	case BackendCompressedTwoSided:
+		recvVals = r.c2s.Exchange(r.sendVals)
+	}
+
+	tUnpack := pl.c.Now()
+	pl.profile.Exchange += tUnpack - tExchange
+
+	// Unpack into the target layout.
+	pl.stream.Launch(dev.CopyCost(r.simRecvTotal*pl.elemSize()), func() {
+		for _, t := range r.plan.Recv {
+			switch pl.opts.Backend {
+			case BackendCompressed, BackendCompressedTwoSided:
+				floatsToComplex(recvVals[t.Rank], r.packBuf[:t.Count])
+			default:
+				bytesToComplex(recvBytes[t.Rank], r.packBuf[:t.Count])
+			}
+			grid.Unpack(r.packBuf[:t.Count], t.Sub, r.outBuf, r.toBox, r.toOrder)
+		}
+	})
+	pl.stream.Synchronize()
+	pl.profile.Unpack += pl.c.Now() - tUnpack
+	_ = me
+	return r.outBuf
+}
+
+// complexAs builds a C from a real scalar.
+func complexAs[C fft.Complex](re float64) C {
+	var z C
+	if _, ok := any(z).(complex64); ok {
+		return C(complex(float32(re), 0))
+	}
+	return C(complex(re, 0))
+}
+
+// complexToFloats flattens complex values into interleaved re/im float64s.
+func complexToFloats[C fft.Complex](src []C, dst []float64) {
+	switch s := any(src).(type) {
+	case []complex64:
+		for i, v := range s {
+			dst[2*i] = float64(real(v))
+			dst[2*i+1] = float64(imag(v))
+		}
+	case []complex128:
+		for i, v := range s {
+			dst[2*i] = real(v)
+			dst[2*i+1] = imag(v)
+		}
+	}
+}
+
+// floatsToComplex is the inverse of complexToFloats.
+func floatsToComplex[C fft.Complex](src []float64, dst []C) {
+	switch d := any(dst).(type) {
+	case []complex64:
+		for i := range d {
+			d[i] = complex(float32(src[2*i]), float32(src[2*i+1]))
+		}
+	case []complex128:
+		for i := range d {
+			d[i] = complex(src[2*i], src[2*i+1])
+		}
+	}
+}
+
+// complexToBytes serializes complex values little-endian (8 bytes per
+// complex64 element, 16 per complex128).
+func complexToBytes[C fft.Complex](src []C) []byte {
+	switch s := any(src).(type) {
+	case []complex64:
+		out := make([]byte, 8*len(s))
+		for i, v := range s {
+			binary.LittleEndian.PutUint32(out[8*i:], math.Float32bits(real(v)))
+			binary.LittleEndian.PutUint32(out[8*i+4:], math.Float32bits(imag(v)))
+		}
+		return out
+	case []complex128:
+		out := make([]byte, 16*len(s))
+		for i, v := range s {
+			binary.LittleEndian.PutUint64(out[16*i:], math.Float64bits(real(v)))
+			binary.LittleEndian.PutUint64(out[16*i+8:], math.Float64bits(imag(v)))
+		}
+		return out
+	}
+	panic("core: unsupported complex type")
+}
+
+// bytesToComplex deserializes complexToBytes output.
+func bytesToComplex[C fft.Complex](b []byte, dst []C) {
+	switch d := any(dst).(type) {
+	case []complex64:
+		for i := range d {
+			re := math.Float32frombits(binary.LittleEndian.Uint32(b[8*i:]))
+			im := math.Float32frombits(binary.LittleEndian.Uint32(b[8*i+4:]))
+			d[i] = complex(re, im)
+		}
+	case []complex128:
+		for i := range d {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(b[16*i:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(b[16*i+8:]))
+			d[i] = complex(re, im)
+		}
+	}
+}

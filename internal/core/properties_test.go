@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/mpi"
+)
+
+// TestDistributedParseval: ‖FFT(x)‖² = N·‖x‖² across the whole machine.
+func TestDistributedParseval(t *testing.T) {
+	mpi.Run(machine(12), func(c *mpi.Comm) {
+		n := [3]int{16, 8, 8}
+		pl := NewPlan[complex128](c, n, Options{Backend: BackendAlltoallv})
+		in := make([]complex128, pl.InBox().Count())
+		FillBox(in, pl.InBox(), pl.InOrder(), 21)
+		var ein float64
+		for _, v := range in {
+			ein += real(v)*real(v) + imag(v)*imag(v)
+		}
+		out := pl.Forward(in)
+		var eout float64
+		for _, v := range out {
+			eout += real(v)*real(v) + imag(v)*imag(v)
+		}
+		ein = c.AllreduceFloat64("sum", ein)
+		eout = c.AllreduceFloat64("sum", eout)
+		N := float64(n[0] * n[1] * n[2])
+		if c.Rank() == 0 && math.Abs(eout-N*ein) > 1e-8*eout {
+			t.Errorf("Parseval violated: %g vs %g", eout, N*ein)
+		}
+	})
+}
+
+// TestDistributedLinearity: FFT(a·x + y) = a·FFT(x) + FFT(y).
+func TestDistributedLinearity(t *testing.T) {
+	mpi.Run(machine(6), func(c *mpi.Comm) {
+		n := [3]int{8, 8, 8}
+		pl := NewPlan[complex128](c, n, Options{Backend: BackendOSC})
+		cnt := pl.InBox().Count()
+		x := make([]complex128, cnt)
+		y := make([]complex128, cnt)
+		FillBox(x, pl.InBox(), pl.InOrder(), 1)
+		FillBox(y, pl.InBox(), pl.InOrder(), 2)
+		a := complex(0.7, -1.3)
+		z := make([]complex128, cnt)
+		for i := range z {
+			z[i] = a*x[i] + y[i]
+		}
+		fx := append([]complex128(nil), pl.Forward(x)...)
+		fy := append([]complex128(nil), pl.Forward(y)...)
+		fz := pl.Forward(z)
+		for i := range fz {
+			want := a*fx[i] + fy[i]
+			if cmplx.Abs(fz[i]-want) > 1e-9*(1+cmplx.Abs(want)) {
+				t.Fatalf("linearity violated at %d", i)
+			}
+		}
+	})
+}
+
+// TestDecompositionIndependence: the same global field transformed on
+// different rank counts gives identical global spectra.
+func TestDecompositionIndependence(t *testing.T) {
+	n := [3]int{8, 12, 8}
+	a := runDistributedForward(t, 2, n, Options{Backend: BackendAlltoallv})
+	b := runDistributedForward(t, 12, n, Options{Backend: BackendAlltoallv})
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > 1e-10*(1+cmplx.Abs(a[i])) {
+			t.Fatalf("spectra differ between decompositions at %d", i)
+		}
+	}
+}
+
+// TestSimScaleDoesNotChangeNumerics: the scaled-volume mode must leave
+// the computed values bit-identical (it only affects the time plane).
+func TestSimScaleDoesNotChangeNumerics(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	a := runDistributedForward(t, 6, n, Options{Backend: BackendAlltoallv})
+	b := runDistributedForward(t, 6, n, Options{Backend: BackendAlltoallv, SimScale: 8})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SimScale changed numerics at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSimScaleIncreasesTime: the simulated 8×-per-axis problem must take
+// roughly volume-scaled (≫ 10×) longer on the virtual clock.
+func TestSimScaleIncreasesTime(t *testing.T) {
+	cfg := machine(12)
+	n := [3]int{16, 16, 16}
+	t1 := Measure[complex128](cfg, n, Options{Backend: BackendAlltoallv}, 1, false).ForwardTime
+	t8 := Measure[complex128](cfg, n, Options{Backend: BackendAlltoallv, SimScale: 8}, 1, false).ForwardTime
+	// Latency/overhead terms do not scale, so the ratio is below the
+	// full 512× volume factor; it must still be a large multiple.
+	if t8 < 5*t1 {
+		t.Errorf("SimScale=8 time %.3g not well above base %.3g", t8, t1)
+	}
+}
+
+// TestCompressedBackendsAgreeOnValues: the pipelined one-sided and the
+// two-sided compressed backends apply identical compression, so their
+// outputs must match exactly.
+func TestCompressedBackendsAgreeOnValues(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	a := runDistributedForward(t, 6, n, Options{Backend: BackendCompressed, Method: compress.Cast32{}})
+	b := runDistributedForward(t, 6, n, Options{Backend: BackendCompressedTwoSided, Method: compress.Cast32{}})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("compressed backends disagree at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDeterministicAcrossRuns: two identical runs give bit-identical
+// results and identical virtual times (the engine is deterministic).
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := machine(12)
+	n := [3]int{16, 16, 16}
+	opts := Options{Backend: BackendCompressed, Method: compress.Cast16{}}
+	r1 := Measure[complex128](cfg, n, opts, 1, true)
+	r2 := Measure[complex128](cfg, n, opts, 1, true)
+	if r1.ForwardTime != r2.ForwardTime || r1.RelErr != r2.RelErr {
+		t.Errorf("nondeterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestTrimErrorTracksTolerance: over a sweep of trims, the measured
+// error scales with the trim's unit roundoff (Fig. 2's slope).
+func TestTrimErrorTracksTolerance(t *testing.T) {
+	cfg := machine(6)
+	n := [3]int{8, 8, 8}
+	prev := 0.0
+	for _, m := range []uint{40, 30, 20, 10} {
+		r := Measure[complex128](cfg, n, Options{Backend: BackendCompressed, Method: compress.Trim{M: m}}, 0, true)
+		if r.RelErr <= prev {
+			t.Errorf("error did not grow as mantissa shrank: m=%d err=%g prev=%g", m, r.RelErr, prev)
+		}
+		bound := compress.Trim{M: m}.ErrorBound()
+		if r.RelErr > 30*bound || r.RelErr < bound/100 {
+			t.Errorf("m=%d: error %g far from trim roundoff %g", m, r.RelErr, bound)
+		}
+		prev = r.RelErr
+	}
+}
+
+// TestPoissonSymbolScaling is a mini spectral solve validating mixed
+// usage of OutBox indexing with the natural order (what the examples
+// rely on).
+func TestPoissonSymbolScaling(t *testing.T) {
+	mpi.Run(machine(6), func(c *mpi.Comm) {
+		n := [3]int{8, 8, 8}
+		pl := NewPlan[complex128](c, n, Options{Backend: BackendAlltoallv})
+		in := make([]complex128, pl.InBox().Count())
+		// Single mode: u = exp(i·(2x̂)) with x̂ the first grid axis index
+		// angle; −∇²u+u has symbol 1+4.
+		h := 2 * math.Pi / float64(n[0])
+		b := pl.InBox()
+		idx := 0
+		for k := b.Lo[2]; k < b.Hi[2]; k++ {
+			for j := b.Lo[1]; j < b.Hi[1]; j++ {
+				for i := b.Lo[0]; i < b.Hi[0]; i++ {
+					x := float64(i) * h
+					in[idx] = complex(5*math.Cos(2*x), 5*math.Sin(2*x))
+					idx++
+				}
+			}
+		}
+		spec := append([]complex128(nil), pl.Forward(in)...)
+		out := pl.OutBox()
+		idx = 0
+		for k := out.Lo[2]; k < out.Hi[2]; k++ {
+			for j := out.Lo[1]; j < out.Hi[1]; j++ {
+				for i := out.Lo[0]; i < out.Hi[0]; i++ {
+					kx := i
+					if kx > n[0]/2 {
+						kx -= n[0]
+					}
+					ky, kz := j, k
+					if ky > n[1]/2 {
+						ky -= n[1]
+					}
+					if kz > n[2]/2 {
+						kz -= n[2]
+					}
+					spec[idx] /= complex(1+float64(kx*kx+ky*ky+kz*kz), 0)
+					idx++
+				}
+			}
+		}
+		u := pl.Backward(spec)
+		for i := range u {
+			want := in[i] / 5 // (1+4)=5 symbol
+			if cmplx.Abs(u[i]-want) > 1e-10 {
+				t.Fatalf("spectral solve wrong at %d: %v vs %v", i, u[i], want)
+			}
+		}
+	})
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"repro/internal/exchange"
+	"repro/internal/fft"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// PlanR2C is the real-to-complex distributed 3-D FFT (heFFTe's
+// fft3d_r2c): real input bricks are reshaped to x-pencils, transformed
+// with half-length real FFTs into the non-redundant half spectrum
+// (n0/2+1 bins), and the remaining stages run the complex pipeline on
+// the reduced grid. Real input halves both the first reshape's volume
+// and the first transform stage's work; all reshape backends (including
+// the compressed one-sided exchange) apply.
+//
+// Output is left as z-pencils of the reduced grid in OutOrder layout
+// (the reduced-reshape configuration); Backward accepts the same.
+type PlanR2C[C fft.Complex] struct {
+	c    *mpi.Comm
+	opts Options
+	n    [3]int // real grid
+	nr   [3]int // reduced spectrum grid {n0/2+1, n1, n2}
+
+	inner *Plan[C] // complex pipeline over nr (PencilIO configuration)
+
+	// Real reshape: bricks of n → x-pencils of n, carrying float64s.
+	realFrom, realTo []grid.Box
+	rplan            grid.Plan
+	simLogical       []int
+	simSend, simRecv int
+	recvNonzero      []bool
+	sendBytes        [][]byte
+	sendVals         [][]float64
+	realOSC          *exchange.OSC
+	realCOSC         *exchange.CompressedOSC
+	packBuf          []float64
+	pencil           []float64 // x-pencil real data
+	spec             []C       // r2c output (x̃-pencil of nr)
+	realOut          []float64 // backward result (brick of n)
+
+	r2c    *fft.PlanR2C[C]
+	xbatch int
+}
+
+// NewPlanR2C collectively builds a real-transform plan for an even
+// n[0]×n[1]×n[2] grid.
+func NewPlanR2C[C fft.Complex](c *mpi.Comm, n [3]int, opts Options) *PlanR2C[C] {
+	if n[0]%2 != 0 {
+		panic("core: r2c requires an even first dimension")
+	}
+	opts = opts.withDefaults()
+	if opts.PencilIO {
+		panic("core: PlanR2C implies pencil output; do not set PencilIO")
+	}
+	p := c.Size()
+	me := c.Rank()
+	nr := [3]int{n[0]/2 + 1, n[1], n[2]}
+
+	innerOpts := opts
+	innerOpts.PencilIO = true
+	pl := &PlanR2C[C]{
+		c:    c,
+		opts: opts,
+		n:    n,
+		nr:   nr,
+		// The inner plan owns the complex reshapes, FFT stages, stream,
+		// and window caches over the reduced grid.
+		inner: NewPlan[C](c, nr, innerOpts),
+	}
+
+	pl.realFrom = grid.Bricks(n, grid.Factor3(p))
+	pl.realTo = grid.Pencils(n, 0, p)
+	pl.rplan = grid.NewPlan(me, pl.realFrom, pl.realTo)
+	overlap := func(dst, src int) int { return grid.Intersect(pl.realFrom[src], pl.realTo[dst]).Count() }
+
+	s := opts.SimScale
+	ns := [3]int{s * n[0], s * n[1], s * n[2]}
+	simFrom := grid.Bricks(ns, grid.Factor3(p))
+	simTo := grid.Pencils(ns, 0, p)
+	simPlan := grid.NewPlan(me, simFrom, simTo)
+	simOverlap := func(dst, src int) int { return grid.Intersect(simFrom[src], simTo[dst]).Count() }
+	pl.simSend, pl.simRecv = simPlan.SendTotal, simPlan.RecvTotal
+
+	elem := pl.realElem()
+	pl.simLogical = make([]int, p)
+	for _, t := range simPlan.Send {
+		pl.simLogical[t.Rank] = elem * t.Count
+	}
+
+	maxPack := 0
+	for _, t := range pl.rplan.Send {
+		if t.Count > maxPack {
+			maxPack = t.Count
+		}
+	}
+	for _, t := range pl.rplan.Recv {
+		if t.Count > maxPack {
+			maxPack = t.Count
+		}
+	}
+	pl.packBuf = make([]float64, maxPack)
+	pl.pencil = make([]float64, pl.realTo[me].Count())
+	pl.realOut = make([]float64, pl.realFrom[me].Count())
+
+	switch opts.Backend {
+	case BackendAlltoallv, BackendCompressedTwoSided:
+		pl.sendBytes = make([][]byte, p)
+		pl.recvNonzero = make([]bool, p)
+		for _, t := range pl.rplan.Recv {
+			pl.recvNonzero[t.Rank] = true
+		}
+	case BackendOSC:
+		pl.sendBytes = make([][]byte, p)
+		pl.realOSC = exchange.NewOSC(c, func(dst, src int) int { return elem * overlap(dst, src) }, true)
+		if s > 1 {
+			pl.realOSC.Logical = func(dst, src int) int { return elem * simOverlap(dst, src) }
+		}
+	case BackendCompressed:
+		pl.sendVals = make([][]float64, p)
+		chunks := simPlan.SendTotal * elem / (256 << 10)
+		if chunks < 1 {
+			chunks = 1
+		}
+		if chunks > opts.Chunks {
+			chunks = opts.Chunks
+		}
+		pl.realCOSC = exchange.NewCompressedOSC(c, pl.inner.opts.Method, pl.inner.stream, chunks, overlap)
+		pl.realCOSC.Pipelined = !opts.DisablePipeline
+		if s > 1 {
+			pl.realCOSC.SimCounts = simOverlap
+		}
+	}
+
+	pl.r2c = fft.NewPlanR2C[C](n[0])
+	pl.xbatch = pl.realTo[me].Count() / n[0]
+	pl.spec = make([]C, pl.xbatch*pl.r2c.SpectrumLen())
+	return pl
+}
+
+// realElem is the wire size of one real value (4 bytes in the FP32
+// pipeline, 8 in FP64).
+func (pl *PlanR2C[C]) realElem() int {
+	var zero C
+	if _, ok := any(zero).(complex64); ok {
+		return 4
+	}
+	return 8
+}
+
+// InBox returns this rank's real input brick (natural order).
+func (pl *PlanR2C[C]) InBox() grid.Box { return pl.realFrom[pl.c.Rank()] }
+
+// OutBox returns this rank's share of the reduced spectrum grid
+// (a z-pencil of {n0/2+1, n1, n2}).
+func (pl *PlanR2C[C]) OutBox() grid.Box { return pl.inner.OutBox() }
+
+// OutOrder returns the output memory layout (z fastest).
+func (pl *PlanR2C[C]) OutOrder() grid.Order { return pl.inner.OutOrder() }
+
+// N returns the real grid shape; SpectrumN the reduced grid shape.
+func (pl *PlanR2C[C]) N() [3]int         { return pl.n }
+func (pl *PlanR2C[C]) SpectrumN() [3]int { return pl.nr }
+
+// Forward computes the half-spectrum 3-D DFT of this rank's real brick
+// (unscaled). The result (OutBox data in OutOrder layout) is owned by
+// the plan and valid until the next call.
+func (pl *PlanR2C[C]) Forward(in []float64) []C {
+	inner := pl.inner
+	inner.profile = Profile{}
+	pl.reshapeReal(in)
+
+	// r2c along x on the GPU: half-length complex FFTs plus untangle.
+	s := pl.opts.SimScale
+	simBatch := pl.xbatch * s * s
+	cost := inner.opts.Device.FFTCost(s*pl.n[0]/2, simBatch, inner.precBits)
+	t0 := pl.c.Now()
+	inner.stream.Launch(cost, func() {
+		pl.r2c.ForwardBatch(pl.pencil, pl.spec, pl.xbatch)
+	})
+	inner.stream.Synchronize()
+	inner.profile.FFT += pl.c.Now() - t0
+
+	// Remaining complex stages on the reduced grid (skip inner's axis-0
+	// FFT: the r2c stage replaced it).
+	data := inner.fwd[0].execute(pl.spec)
+	inner.fftStage(data, 1, fft.Forward)
+	data = inner.fwd[1].execute(data)
+	inner.fftStage(data, 2, fft.Forward)
+	return data
+}
+
+// Backward inverts Forward (scaled by 1/(n0·n1·n2)): z-pencil spectrum
+// in, real brick out. spec is not modified.
+func (pl *PlanR2C[C]) Backward(spec []C) []float64 {
+	inner := pl.inner
+	inner.profile = Profile{}
+	data := append(inner.pencilScratch[:0], spec...)
+	inner.fftStage(data, 2, fft.Inverse)
+	data = inner.bwd[0].execute(data)
+	inner.fftStage(data, 1, fft.Inverse)
+	data = inner.bwd[1].execute(data)
+
+	// c2r along x (includes the 1/n0 factor), then 1/(n1·n2).
+	s := pl.opts.SimScale
+	simBatch := pl.xbatch * s * s
+	cost := inner.opts.Device.FFTCost(s*pl.n[0]/2, simBatch, inner.precBits)
+	t0 := pl.c.Now()
+	inner.stream.Launch(cost, func() {
+		pl.r2c.InverseBatch(data, pl.pencil, pl.xbatch)
+		scale := 1 / float64(pl.n[1]*pl.n[2])
+		for i := range pl.pencil {
+			pl.pencil[i] *= scale
+		}
+	})
+	inner.stream.Synchronize()
+	inner.profile.FFT += pl.c.Now() - t0
+
+	pl.reshapeRealBack()
+	return pl.realOut
+}
+
+// LastProfile returns the inner pipeline's phase breakdown.
+func (pl *PlanR2C[C]) LastProfile() Profile { return pl.inner.profile }
+
+// reshapeReal moves this rank's real brick into its x-pencil (pl.pencil).
+func (pl *PlanR2C[C]) reshapeReal(in []float64) {
+	pl.runRealReshape(in, pl.pencil, pl.rplan, pl.realFrom, pl.realTo, false)
+}
+
+// reshapeRealBack moves the x-pencil back to the brick (pl.realOut).
+func (pl *PlanR2C[C]) reshapeRealBack() {
+	back := grid.NewPlan(pl.c.Rank(), pl.realTo, pl.realFrom)
+	pl.runRealReshape(pl.pencil, pl.realOut, back, pl.realTo, pl.realFrom, true)
+}
+
+// runRealReshape is the float64 analogue of reshape.execute. The
+// backward direction reuses the forward exchange objects' windows only
+// for the two-sided backends; the one-sided backends fall back to the
+// two-sided exchange for the (non-performance-critical) inverse-side
+// real reshape to keep window bookkeeping simple.
+func (pl *PlanR2C[C]) runRealReshape(src, dst []float64, plan grid.Plan, from, to []grid.Box, backward bool) {
+	inner := pl.inner
+	dev := inner.opts.Device
+	me := pl.c.Rank()
+	elem := pl.realElem()
+	srcBox, dstBox := from[me], to[me]
+
+	tPack := pl.c.Now()
+	// Every backend ships real bytes except the compressed one-sided
+	// exchange's forward direction, which consumes float64 payloads.
+	useBytes := pl.opts.Backend != BackendCompressed || backward
+	packCost := dev.CopyCost(pl.simSend * elem)
+	sendBytes := make([][]byte, pl.c.Size())
+	sendVals := make([][]float64, pl.c.Size())
+	inner.stream.Launch(packCost, func() {
+		for _, t := range plan.Send {
+			buf := pl.packBuf[:t.Count]
+			grid.Pack(src, srcBox, grid.Natural, t.Sub, grid.Natural, buf)
+			if useBytes {
+				sendBytes[t.Rank] = pl.realToBytes(buf)
+			} else {
+				sendVals[t.Rank] = append([]float64(nil), buf...)
+			}
+		}
+	})
+	for d := range sendBytes {
+		if useBytes && sendBytes[d] == nil {
+			sendBytes[d] = []byte{}
+		}
+		if !useBytes && sendVals[d] == nil {
+			sendVals[d] = []float64{}
+		}
+	}
+	inner.stream.Synchronize()
+	tEx := pl.c.Now()
+	inner.profile.Pack += tEx - tPack
+
+	recvNonzero := make([]bool, pl.c.Size())
+	for _, t := range plan.Recv {
+		recvNonzero[t.Rank] = true
+	}
+	var logical []int
+	if pl.opts.SimScale > 1 {
+		logical = pl.simLogical
+		if backward {
+			logical = nil // conservative: charge real sizes on the way back
+		}
+	}
+
+	var recvBytes [][]byte
+	var recvVals [][]float64
+	switch {
+	case useBytes:
+		recvBytes = pl.c.AlltoallvSparse(sendBytes, recvNonzero, logical)
+	case pl.opts.Backend == BackendOSC:
+		recvBytes = pl.realOSC.Exchange(sendBytes)
+	default: // BackendCompressed forward
+		recvVals = pl.realCOSC.Exchange(sendVals)
+	}
+	tUn := pl.c.Now()
+	inner.profile.Exchange += tUn - tEx
+
+	inner.stream.Launch(dev.CopyCost(pl.simRecv*elem), func() {
+		for _, t := range plan.Recv {
+			var vals []float64
+			if recvVals != nil {
+				vals = recvVals[t.Rank]
+			} else {
+				vals = pl.realFromBytes(recvBytes[t.Rank], t.Count)
+			}
+			grid.Unpack(vals, t.Sub, dst, dstBox, grid.Natural)
+		}
+	})
+	inner.stream.Synchronize()
+	inner.profile.Unpack += pl.c.Now() - tUn
+}
+
+// realToBytes serializes reals at the pipeline's wire precision.
+func (pl *PlanR2C[C]) realToBytes(vals []float64) []byte {
+	if pl.realElem() == 4 {
+		f32 := make([]float32, len(vals))
+		for i, v := range vals {
+			f32[i] = float32(v)
+		}
+		return mpi.Float32sToBytes(f32)
+	}
+	return mpi.Float64sToBytes(vals)
+}
+
+func (pl *PlanR2C[C]) realFromBytes(b []byte, count int) []float64 {
+	if pl.realElem() == 4 {
+		f32 := mpi.BytesToFloat32s(b)
+		out := make([]float64, count)
+		for i := range out {
+			out[i] = float64(f32[i])
+		}
+		return out
+	}
+	return mpi.BytesToFloat64s(b)
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/fft"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// realField returns the deterministic real input at (i,j,k).
+func realField(seed uint64, i, j, k int) float64 {
+	return real(FieldValue(seed, i, j, k))
+}
+
+// serialR2CReference computes the full complex spectrum of the real
+// field and returns it (natural order over the full grid).
+func serialR2CReference(n [3]int, seed uint64) []complex128 {
+	data := make([]complex128, n[0]*n[1]*n[2])
+	for k := 0; k < n[2]; k++ {
+		for j := 0; j < n[1]; j++ {
+			for i := 0; i < n[0]; i++ {
+				data[i+n[0]*(j+n[1]*k)] = complex(realField(seed, i, j, k), 0)
+			}
+		}
+	}
+	fft.Forward3D(data, n[0], n[1], n[2])
+	return data
+}
+
+func fillRealBrick(in []float64, b grid.Box, seed uint64) {
+	idx := 0
+	for k := b.Lo[2]; k < b.Hi[2]; k++ {
+		for j := b.Lo[1]; j < b.Hi[1]; j++ {
+			for i := b.Lo[0]; i < b.Hi[0]; i++ {
+				in[idx] = realField(seed, i, j, k)
+				idx++
+			}
+		}
+	}
+}
+
+func TestR2CDistributedMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		ranks int
+		n     [3]int
+	}{
+		{1, [3]int{8, 8, 8}},
+		{6, [3]int{8, 8, 8}},
+		{12, [3]int{16, 12, 8}},
+	} {
+		want := serialR2CReference(tc.n, 1)
+		nr := [3]int{tc.n[0]/2 + 1, tc.n[1], tc.n[2]}
+		got := make([]complex128, nr[0]*nr[1]*nr[2])
+		mpi.Run(machine(tc.ranks), func(c *mpi.Comm) {
+			pl := NewPlanR2C[complex128](c, tc.n, Options{Backend: BackendAlltoallv})
+			in := make([]float64, pl.InBox().Count())
+			fillRealBrick(in, pl.InBox(), 1)
+			out := pl.Forward(in)
+			b := pl.OutBox()
+			o := pl.OutOrder()
+			for i := b.Lo[0]; i < b.Hi[0]; i++ {
+				for j := b.Lo[1]; j < b.Hi[1]; j++ {
+					for k := b.Lo[2]; k < b.Hi[2]; k++ {
+						got[i+nr[0]*(j+nr[1]*k)] = out[o.Index(b, [3]int{i, j, k})]
+					}
+				}
+			}
+		})
+		var maxAbs, maxDiff float64
+		for k := 0; k < nr[2]; k++ {
+			for j := 0; j < nr[1]; j++ {
+				for i := 0; i < nr[0]; i++ {
+					ref := want[i+tc.n[0]*(j+tc.n[1]*k)]
+					d := cmplx.Abs(got[i+nr[0]*(j+nr[1]*k)] - ref)
+					maxDiff = math.Max(maxDiff, d)
+					maxAbs = math.Max(maxAbs, cmplx.Abs(ref))
+				}
+			}
+		}
+		if maxDiff/maxAbs > 1e-12 {
+			t.Errorf("ranks=%d n=%v: r2c error vs serial %g", tc.ranks, tc.n, maxDiff/maxAbs)
+		}
+	}
+}
+
+func TestR2CDistributedRoundTrip(t *testing.T) {
+	for _, backend := range []Backend{BackendAlltoallv, BackendOSC} {
+		mpi.Run(machine(6), func(c *mpi.Comm) {
+			n := [3]int{8, 8, 8}
+			pl := NewPlanR2C[complex128](c, n, Options{Backend: backend})
+			in := make([]float64, pl.InBox().Count())
+			fillRealBrick(in, pl.InBox(), 3)
+			spec := append([]complex128(nil), pl.Forward(in)...)
+			back := pl.Backward(spec)
+			for i := range in {
+				if math.Abs(back[i]-in[i]) > 1e-12 {
+					t.Fatalf("backend %v: r2c round trip error %g at %d", backend, math.Abs(back[i]-in[i]), i)
+				}
+			}
+		})
+	}
+}
+
+func TestR2CCompressedRoundTrip(t *testing.T) {
+	mpi.Run(machine(12), func(c *mpi.Comm) {
+		n := [3]int{16, 8, 8}
+		pl := NewPlanR2C[complex128](c, n, Options{Backend: BackendCompressed, Method: compress.Cast32{}})
+		in := make([]float64, pl.InBox().Count())
+		fillRealBrick(in, pl.InBox(), 5)
+		spec := append([]complex128(nil), pl.Forward(in)...)
+		back := pl.Backward(spec)
+		var errSq, normSq float64
+		for i := range in {
+			d := back[i] - in[i]
+			errSq += d * d
+			normSq += in[i] * in[i]
+		}
+		errSq = c.AllreduceFloat64("sum", errSq)
+		normSq = c.AllreduceFloat64("sum", normSq)
+		rel := math.Sqrt(errSq / normSq)
+		if c.Rank() == 0 && (rel > 1e-6 || rel < 1e-9) {
+			t.Errorf("compressed r2c round-trip error %g outside FP32 band", rel)
+		}
+	})
+}
+
+func TestR2CFP32Pipeline(t *testing.T) {
+	mpi.Run(machine(6), func(c *mpi.Comm) {
+		n := [3]int{8, 8, 8}
+		pl := NewPlanR2C[complex64](c, n, Options{Backend: BackendAlltoallv})
+		in := make([]float64, pl.InBox().Count())
+		fillRealBrick(in, pl.InBox(), 7)
+		spec := append([]complex64(nil), pl.Forward(in)...)
+		back := pl.Backward(spec)
+		for i := range in {
+			if math.Abs(back[i]-in[i]) > 1e-4 {
+				t.Fatalf("FP32 r2c round trip error at %d", i)
+			}
+		}
+	})
+}
+
+// TestR2CHalvesFirstReshape: the real first reshape moves half the bytes
+// of the complex transform's.
+func TestR2CHalvesFirstReshape(t *testing.T) {
+	n := [3]int{16, 16, 16}
+	cfg := machine(12)
+	var realVol, cplxVol int64
+	{
+		res := mpi.Run(cfg, func(c *mpi.Comm) {
+			pl := NewPlanR2C[complex128](c, n, Options{Backend: BackendAlltoallv})
+			in := make([]float64, pl.InBox().Count())
+			pl.Forward(in)
+		})
+		realVol = res.Stats.BytesInter + res.Stats.BytesIntra + res.Stats.BytesLocal
+	}
+	{
+		res := mpi.Run(cfg, func(c *mpi.Comm) {
+			pl := NewPlan[complex128](c, n, Options{Backend: BackendAlltoallv})
+			in := make([]complex128, pl.InBox().Count())
+			pl.Forward(in)
+		})
+		cplxVol = res.Stats.BytesInter + res.Stats.BytesIntra + res.Stats.BytesLocal
+	}
+	// Real pipeline: ~half the spectrum and real first exchange; total
+	// well under the full complex pipeline's volume.
+	if realVol >= cplxVol*3/4 {
+		t.Errorf("r2c volume %d not clearly below c2c volume %d", realVol, cplxVol)
+	}
+}
+
+func TestR2COddFirstDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	mpi.Run(machine(1), func(c *mpi.Comm) {
+		NewPlanR2C[complex128](c, [3]int{9, 8, 8}, Options{})
+	})
+}
+
+func TestR2CBoxesAndShapes(t *testing.T) {
+	mpi.Run(machine(6), func(c *mpi.Comm) {
+		n := [3]int{12, 8, 10}
+		pl := NewPlanR2C[complex128](c, n, Options{Backend: BackendAlltoallv})
+		if pl.SpectrumN() != [3]int{7, 8, 10} {
+			t.Errorf("spectrum grid %v", pl.SpectrumN())
+		}
+		if pl.OutBox().Size(2) != n[2] {
+			t.Errorf("output %v not a z-pencil", pl.OutBox())
+		}
+	})
+}
+
+// TestR2CWithSimScale: the scaled-volume mode works for the real
+// transform too and leaves numerics untouched.
+func TestR2CWithSimScale(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	run := func(ss int) []complex128 {
+		var flat []complex128
+		mpi.Run(machine(6), func(c *mpi.Comm) {
+			pl := NewPlanR2C[complex128](c, n, Options{Backend: BackendAlltoallv, SimScale: ss})
+			in := make([]float64, pl.InBox().Count())
+			fillRealBrick(in, pl.InBox(), 9)
+			out := pl.Forward(in)
+			if c.Rank() == 0 {
+				flat = append(flat, out...)
+			}
+		})
+		return flat
+	}
+	a, b := run(1), run(4)
+	if len(a) != len(b) {
+		t.Fatal("shape changed under SimScale")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SimScale changed r2c numerics at %d", i)
+		}
+	}
+}
+
+// TestR2CFasterThanC2C: the half-spectrum pipeline beats the complex one
+// on the virtual clock at equal problem size.
+func TestR2CFasterThanC2C(t *testing.T) {
+	cfg := machine(24)
+	n := [3]int{32, 32, 32}
+	var tR2C, tC2C float64
+	mpi.Run(cfg, func(c *mpi.Comm) {
+		pl := NewPlanR2C[complex128](c, n, Options{Backend: BackendAlltoallv, SimScale: 8})
+		in := make([]float64, pl.InBox().Count())
+		fillRealBrick(in, pl.InBox(), 1)
+		pl.Forward(in)
+		c.Barrier()
+		t0 := c.Now()
+		pl.Forward(in)
+		t1 := c.AllreduceFloat64("max", c.Now())
+		if c.Rank() == 0 {
+			tR2C = t1 - t0
+		}
+	})
+	mpi.Run(cfg, func(c *mpi.Comm) {
+		pl := NewPlan[complex128](c, n, Options{Backend: BackendAlltoallv, SimScale: 8, PencilIO: true})
+		in := make([]complex128, pl.InBox().Count())
+		FillBox(in, pl.InBox(), pl.InOrder(), 1)
+		pl.Forward(in)
+		c.Barrier()
+		t0 := c.Now()
+		pl.Forward(in)
+		t1 := c.AllreduceFloat64("max", c.Now())
+		if c.Rank() == 0 {
+			tC2C = t1 - t0
+		}
+	})
+	if tR2C >= tC2C {
+		t.Errorf("r2c %.3g not faster than c2c %.3g", tR2C, tC2C)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"repro/internal/fft"
+	"repro/internal/grid"
+)
+
+// FieldValue returns a deterministic pseudo-random complex value for a
+// global grid coordinate, uniform in [-1,1)². Because the value depends
+// only on (seed, i, j, k), any decomposition of the same global field
+// agrees point-wise — distributed results can be cross-checked against
+// serial transforms and across rank counts.
+func FieldValue(seed uint64, i, j, k int) complex128 {
+	h := splitmix(seed ^ mix(uint64(i), uint64(j), uint64(k)))
+	re := unit(h)
+	im := unit(splitmix(h))
+	return complex(re, im)
+}
+
+func mix(i, j, k uint64) uint64 {
+	return i*0x9e3779b97f4a7c15 ^ j*0xbf58476d1ce4e5b9 ^ k*0x94d049bb133111eb
+}
+
+// splitmix is the SplitMix64 finalizer.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// unit maps 64 random bits to [-1, 1).
+func unit(h uint64) float64 {
+	return float64(int64(h))/9.223372036854776e18 + 0.5/9.223372036854776e18
+}
+
+// FillBox fills dst (the storage of box b in layout o) with the
+// deterministic field.
+func FillBox[C fft.Complex](dst []C, b grid.Box, o grid.Order, seed uint64) {
+	for i := b.Lo[0]; i < b.Hi[0]; i++ {
+		for j := b.Lo[1]; j < b.Hi[1]; j++ {
+			for k := b.Lo[2]; k < b.Hi[2]; k++ {
+				v := FieldValue(seed, i, j, k)
+				dst[indexOf(b, o, i, j, k)] = cmplxFrom[C](v)
+			}
+		}
+	}
+}
+
+func cmplxFrom[C fft.Complex](v complex128) C {
+	var z C
+	if _, ok := any(z).(complex64); ok {
+		return C(complex64(v))
+	}
+	return C(v)
+}
+
+// indexOf is a shorthand over grid.Order.Index.
+func indexOf(b grid.Box, o grid.Order, i, j, k int) int {
+	return o.Index(b, [3]int{i, j, k})
+}

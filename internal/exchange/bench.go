@@ -1,0 +1,101 @@
+package exchange
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/gpu"
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+)
+
+// Algorithms available to the bandwidth harness.
+const (
+	AlgoLinear   = "linear"
+	AlgoPairwise = "pairwise"
+	AlgoBruck    = "bruck" // log-round aggregated algorithm (small messages)
+	AlgoOSC      = "osc"
+	AlgoOSCNaive = "osc-naive" // ring without the node-aware permutation
+)
+
+// NodeBandwidth runs a uniform all-to-all (msgBytes per pair, phantom
+// payloads) iters times on the machine and returns the average node
+// bandwidth in bytes/s — the Fig. 3 metric: total bytes sent divided by
+// the exchange time and the node count. Setup (window creation, warmup
+// iteration) is excluded from the measured window.
+func NodeBandwidth(cfg netsim.Config, algo string, msgBytes, iters int) float64 {
+	p := cfg.Ranks()
+	var start, end float64
+	mpi.Run(cfg, func(c *mpi.Comm) {
+		sizes := make([]int, p)
+		for i := range sizes {
+			sizes[i] = msgBytes
+		}
+		var osc *OSC
+		switch algo {
+		case AlgoOSC:
+			osc = NewOSCPhantom(c, Uniform(msgBytes), true)
+		case AlgoOSCNaive:
+			osc = NewOSCPhantom(c, Uniform(msgBytes), false)
+		}
+		run := func() {
+			switch algo {
+			case AlgoLinear:
+				LinearAlltoallvN(c, sizes)
+			case AlgoPairwise:
+				PairwiseAlltoallvN(c, sizes)
+			case AlgoBruck:
+				BruckAlltoallN(c, msgBytes)
+			case AlgoOSC, AlgoOSCNaive:
+				osc.ExchangeN()
+			default:
+				panic(fmt.Sprintf("exchange: unknown algorithm %q", algo))
+			}
+		}
+		run() // warmup
+		c.Barrier()
+		t0 := c.AllreduceFloat64("min", c.Now())
+		for i := 0; i < iters; i++ {
+			run()
+		}
+		c.Barrier()
+		t1 := c.AllreduceFloat64("max", c.Now())
+		if c.Rank() == 0 {
+			start, end = t0, t1
+		}
+	})
+	total := float64(iters) * float64(p) * float64(p) * float64(msgBytes)
+	return total / (end - start) / float64(cfg.Nodes)
+}
+
+// CompressedExchangeTime measures one compressed OSC exchange of count
+// float64 values per pair on real random-like data and returns the
+// exchange time (excluding construction and warmup).
+func CompressedExchangeTime(cfg netsim.Config, method compress.Method, chunks, count, iters int, pipelined bool) float64 {
+	p := cfg.Ranks()
+	var start, end float64
+	mpi.Run(cfg, func(c *mpi.Comm) {
+		x := NewCompressedOSC(c, method, gpu.NewStream(gpu.V100(), c), chunks, UniformCount(count))
+		x.Pipelined = pipelined
+		send := make([][]float64, p)
+		for d := range send {
+			send[d] = make([]float64, count)
+			for i := range send[d] {
+				// Deterministic pseudo-data; values in (-1, 1).
+				send[d][i] = float64((c.Rank()*31+d*17+i*13)%2000-1000) / 1000
+			}
+		}
+		x.Exchange(send) // warmup
+		c.Barrier()
+		t0 := c.AllreduceFloat64("min", c.Now())
+		for i := 0; i < iters; i++ {
+			x.Exchange(send)
+		}
+		c.Barrier()
+		t1 := c.AllreduceFloat64("max", c.Now())
+		if c.Rank() == 0 {
+			start, end = t0, t1
+		}
+	})
+	return (end - start) / float64(iters)
+}

@@ -1,0 +1,83 @@
+package exchange
+
+import "repro/internal/mpi"
+
+const tagBruck = 104
+
+// BruckAlltoall is the Bruck algorithm for the uniform all-to-all:
+// ⌈log2 p⌉ rounds of aggregated messages instead of p−1 point-to-point
+// exchanges, trading extra volume (each block travels up to log p hops)
+// for far fewer messages. It is the classic choice for the small-message
+// regime where the per-message costs that Fig. 3 exposes dominate.
+// Every rank contributes one block of blockSize bytes per destination.
+func BruckAlltoall(c *mpi.Comm, send [][]byte, blockSize int) [][]byte {
+	p := c.Size()
+	r := c.Rank()
+	for d, b := range send {
+		if len(b) != blockSize {
+			panic("exchange: BruckAlltoall requires uniform block sizes")
+		}
+		_ = d
+	}
+
+	// Phase 1 — local rotation: slot j holds the block destined to rank
+	// (r + j) mod p.
+	blocks := make([][]byte, p)
+	for j := 0; j < p; j++ {
+		src := send[(r+j)%p]
+		blocks[j] = append([]byte(nil), src...)
+	}
+
+	// Phase 2 — ⌈log2 p⌉ rounds: send every slot whose index has bit k
+	// set to rank (r + k) mod p, packed into one message.
+	round := 0
+	for k := 1; k < p; k <<= 1 {
+		dst := (r + k) % p
+		src := (r - k + p) % p
+		var outIdx []int
+		for j := 0; j < p; j++ {
+			if j&k != 0 {
+				outIdx = append(outIdx, j)
+			}
+		}
+		packed := make([]byte, 0, len(outIdx)*blockSize)
+		for _, j := range outIdx {
+			packed = append(packed, blocks[j]...)
+		}
+		c.Send(dst, tagBruck+round, packed)
+		got := c.Recv(src, tagBruck+round)
+		for i, j := range outIdx {
+			copy(blocks[j], got[i*blockSize:(i+1)*blockSize])
+		}
+		round++
+	}
+
+	// Phase 3 — inverse rotation: slot j now holds the block that
+	// originated at rank (r − j) mod p.
+	recv := make([][]byte, p)
+	for j := 0; j < p; j++ {
+		recv[(r-j+p)%p] = blocks[j]
+	}
+	return recv
+}
+
+// BruckAlltoallN is the phantom (timing-only) variant: it replays the
+// Bruck message pattern with the same aggregated sizes but no payloads.
+func BruckAlltoallN(c *mpi.Comm, blockSize int) {
+	p := c.Size()
+	r := c.Rank()
+	round := 0
+	for k := 1; k < p; k <<= 1 {
+		dst := (r + k) % p
+		src := (r - k + p) % p
+		n := 0
+		for j := 0; j < p; j++ {
+			if j&k != 0 {
+				n++
+			}
+		}
+		c.SendN(dst, tagBruck+round, n*blockSize)
+		c.RecvPacket(src, tagBruck+round)
+		round++
+	}
+}

@@ -1,0 +1,247 @@
+package exchange
+
+import (
+	"encoding/binary"
+
+	"repro/internal/compress"
+	"repro/internal/gpu"
+	"repro/internal/mpi"
+)
+
+// CountFn gives the number of float64 values rank dst receives from rank
+// src in one exchange (the value-level analogue of SizeFn).
+type CountFn func(dst, src int) int
+
+// UniformCount returns the CountFn of a uniform exchange.
+func UniformCount(n int) CountFn {
+	return func(dst, src int) int { return n }
+}
+
+// CompressedOSC is the paper's contribution: the one-sided ring
+// all-to-all with lossy compression integrated into the transfer (§V-B).
+// The send buffer (the concatenation of all destination payloads in ring
+// order) is split into Chunks pieces; one compression kernel per chunk
+// is submitted up front on a GPU stream, and the host watches the
+// stream's progress counter: as soon as a chunk's kernel completes, the
+// puts for the destinations it covers are issued, so compression of
+// chunk k+1 overlaps the transfer of chunk k. The target decompresses
+// its whole window after the closing fence.
+//
+// Wire format per destination slot: a 4-byte little-endian compressed
+// length followed by the compressed bytes at a fixed window offset, so
+// variable-rate methods also work.
+type CompressedOSC struct {
+	c      *mpi.Comm
+	win    *mpi.Win
+	method compress.Method
+	stream *gpu.Stream
+	chunks int
+	counts CountFn
+	// Pipelined toggles the §V-B overlap; false synchronizes the stream
+	// before issuing any put (the ablation baseline).
+	Pipelined bool
+	// SimCounts, when non-nil, gives the simulated value counts used for
+	// timing (kernel costs and wire bytes) in place of the real counts —
+	// the scaled-volume experiment mode (see DESIGN.md).
+	SimCounts CountFn
+
+	recvCounts []int
+	slotOff    []int // window offset of each source's slot
+	sendOff    []int // my slot offset within each destination's window
+	stagePos   []int // staging offset per destination
+	order      []int
+	groups     [][]int // ring order split into chunk groups
+	expected   []int
+	stage      []byte      // compressed staging ("first internal buffer")
+	out        [][]float64 // decompressed results, reused across calls
+}
+
+// NewCompressedOSC collectively builds the compressed exchange for the
+// fixed pattern counts, compressing with method, running kernels on a
+// stream over dev, pipelining in chunks pieces. All ranks must construct
+// with identical counts/method/chunks.
+func NewCompressedOSC(c *mpi.Comm, method compress.Method, stream *gpu.Stream, chunks int, counts CountFn) *CompressedOSC {
+	if chunks < 1 {
+		panic("exchange: chunk count must be ≥ 1")
+	}
+	p := c.Size()
+	me := c.Rank()
+
+	slotBytes := func(values int) int {
+		if values == 0 {
+			return 0
+		}
+		return 4 + method.MaxCompressedLen(values)
+	}
+
+	recvCounts := make([]int, p)
+	slotOff := make([]int, p)
+	expected := make([]int, p)
+	winSize := 0
+	for s := 0; s < p; s++ {
+		recvCounts[s] = counts(me, s)
+		slotOff[s] = winSize
+		winSize += slotBytes(recvCounts[s])
+		if recvCounts[s] > 0 {
+			expected[s] = 1
+		}
+	}
+	sendSizes := make([]int, p)
+	for d := 0; d < p; d++ {
+		sendSizes[d] = slotBytes(counts(d, me))
+	}
+	sendOff := exchangeOffsets(c, recvSizesBytes(recvCounts, slotBytes), slotOff, sendSizes)
+	order := ringOrder(c, true)
+	stagePos := make([]int, p)
+	stageSize := 0
+	for _, dst := range order {
+		stagePos[dst] = stageSize
+		stageSize += slotBytes(counts(dst, me))
+	}
+	out := make([][]float64, p)
+	for s := 0; s < p; s++ {
+		out[s] = make([]float64, recvCounts[s])
+	}
+	return &CompressedOSC{
+		c:          c,
+		win:        c.WinCreate(make([]byte, winSize)),
+		method:     method,
+		stream:     stream,
+		chunks:     chunks,
+		counts:     counts,
+		Pipelined:  true,
+		recvCounts: recvCounts,
+		slotOff:    slotOff,
+		sendOff:    sendOff,
+		stagePos:   stagePos,
+		order:      order,
+		groups:     splitGroups(order, chunks),
+		expected:   expected,
+		stage:      make([]byte, stageSize),
+		out:        out,
+	}
+}
+
+// recvSizesBytes maps value counts to window slot sizes.
+func recvSizesBytes(counts []int, slotBytes func(int) int) []int {
+	out := make([]int, len(counts))
+	for i, c := range counts {
+		out[i] = slotBytes(c)
+	}
+	return out
+}
+
+// splitGroups divides the destination order into up to k contiguous,
+// near-equal groups (one compression kernel each).
+func splitGroups(order []int, k int) [][]int {
+	n := len(order)
+	if k > n {
+		k = n
+	}
+	groups := make([][]int, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := n*i/k, n*(i+1)/k
+		if hi > lo {
+			groups = append(groups, order[lo:hi])
+		}
+	}
+	return groups
+}
+
+// Method returns the compression method in use.
+func (x *CompressedOSC) Method() compress.Method { return x.method }
+
+// Exchange performs the compressed all-to-all on float64 payloads:
+// send[d] (counts(d, me) values) is compressed and put into rank d's
+// window; the returned slices (indexed by source, reused across calls)
+// hold the decompressed data this rank received.
+func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
+	me := x.c.Rank()
+	dev := x.stream.Device()
+	for _, dst := range x.order {
+		if want := x.counts(dst, me); len(send[dst]) != want {
+			panic("exchange: send count does not match the compressed OSC plan")
+		}
+	}
+
+	simCounts := x.counts
+	if x.SimCounts != nil {
+		simCounts = x.SimCounts
+	}
+	// Phase 1 (§V-B): submit one compression kernel per chunk, all up
+	// front, on the same stream.
+	done := make([]float64, len(x.groups))
+	for g, group := range x.groups {
+		group := group
+		inBytes, outBytes := 0, 0
+		for _, dst := range group {
+			cv := simCounts(dst, me)
+			inBytes += 8 * cv
+			outBytes += x.method.MaxCompressedLen(cv)
+		}
+		done[g] = x.stream.Launch(dev.CompressCost(inBytes, outBytes), func() {
+			for _, dst := range group {
+				vals := send[dst]
+				if len(vals) == 0 {
+					continue
+				}
+				slot := x.stage[x.stagePos[dst]:]
+				clen := x.method.Compress(slot[4:], vals)
+				binary.LittleEndian.PutUint32(slot, uint32(clen))
+			}
+		})
+	}
+
+	// Phase 2: the host watches the progress counter; each completed
+	// chunk's destinations are put while later chunks still compress.
+	if !x.Pipelined {
+		x.stream.Synchronize()
+	}
+	for g, group := range x.groups {
+		if x.Pipelined {
+			x.c.AdvanceTo(done[g])
+		}
+		for _, dst := range group {
+			if x.counts(dst, me) == 0 {
+				continue
+			}
+			slot := x.stage[x.stagePos[dst]:]
+			clen := int(binary.LittleEndian.Uint32(slot))
+			logical := 4 + clen
+			if cv := x.counts(dst, me); x.SimCounts != nil && cv > 0 {
+				// Charge the wire as if the chunk held the simulated
+				// value count at the same compression rate.
+				logical = 4 + clen*simCounts(dst, me)/cv
+			}
+			x.win.PutLogical(dst, x.sendOff[dst], slot[:4+clen], logical)
+		}
+	}
+
+	// Phase 3: close the epoch.
+	x.win.Fence(x.expected)
+
+	// Phase 4: decompress the whole window (one kernel — the paper
+	// decompresses the entire buffer after communications complete).
+	buf := x.win.Buffer()
+	inBytes, outBytes := 0, 0
+	for s, cnt := range x.recvCounts {
+		if cnt == 0 {
+			continue
+		}
+		sc := simCounts(x.c.Rank(), s)
+		inBytes += x.method.MaxCompressedLen(sc)
+		outBytes += 8 * sc
+	}
+	x.stream.Launch(dev.CompressCost(inBytes, outBytes), func() {
+		for s, cnt := range x.recvCounts {
+			if cnt == 0 {
+				continue
+			}
+			off := x.slotOff[s]
+			clen := int(binary.LittleEndian.Uint32(buf[off:]))
+			x.method.Decompress(x.out[s], buf[off+4:off+4+clen])
+		}
+	})
+	x.stream.Synchronize()
+	return x.out
+}

@@ -1,0 +1,37 @@
+package exchange
+
+import (
+	"encoding/binary"
+
+	"repro/internal/mpi"
+)
+
+const tagCtlOffset = 103
+
+// exchangeOffsets distributes window placement at plan time: every rank
+// tells each of its sources where that source's slot starts in this
+// rank's window, and learns from each of its destinations where its own
+// data must land there. recvOff[s] is the local window offset reserved
+// for source s (meaningful where recvSizes[s] > 0); sendSizes[d] > 0
+// marks the destinations this rank sends to. The returned slice holds
+// this rank's put offset per destination.
+//
+// This is the one-time handshake a cached-window implementation pays at
+// plan creation (§V-A); Exchange itself stays handshake-free.
+func exchangeOffsets(c *mpi.Comm, recvSizes, recvOff, sendSizes []int) []int {
+	var msg [8]byte
+	for s, n := range recvSizes {
+		if n > 0 {
+			binary.LittleEndian.PutUint64(msg[:], uint64(recvOff[s]))
+			c.Send(s, tagCtlOffset, msg[:])
+		}
+	}
+	sendOff := make([]int, len(sendSizes))
+	for d, n := range sendSizes {
+		if n > 0 {
+			got := c.Recv(d, tagCtlOffset)
+			sendOff[d] = int(binary.LittleEndian.Uint64(got))
+		}
+	}
+	return sendOff
+}

@@ -1,0 +1,133 @@
+package exchange
+
+import (
+	"encoding/binary"
+
+	"repro/internal/compress"
+	"repro/internal/gpu"
+	"repro/internal/mpi"
+)
+
+// TwoSidedCompressed applies the same lossy compression as CompressedOSC
+// but ships the data through the classical two-sided all-to-all-v, with
+// no §V-B pipeline: compress everything, synchronize, exchange,
+// decompress. It exists to isolate the paper's two contributions — the
+// compression and the one-sided transport — in ablations.
+type TwoSidedCompressed struct {
+	c      *mpi.Comm
+	method compress.Method
+	stream *gpu.Stream
+	counts CountFn
+	// SimCounts enables the scaled-volume mode (see CompressedOSC).
+	SimCounts CountFn
+
+	recvCounts  []int
+	recvNonzero []bool
+	sendBufs    [][]byte
+	out         [][]float64
+}
+
+// NewTwoSidedCompressed builds the exchange for the fixed pattern counts.
+func NewTwoSidedCompressed(c *mpi.Comm, method compress.Method, stream *gpu.Stream, counts CountFn) *TwoSidedCompressed {
+	p := c.Size()
+	me := c.Rank()
+	x := &TwoSidedCompressed{
+		c:           c,
+		method:      method,
+		stream:      stream,
+		counts:      counts,
+		recvCounts:  make([]int, p),
+		recvNonzero: make([]bool, p),
+		sendBufs:    make([][]byte, p),
+		out:         make([][]float64, p),
+	}
+	for s := 0; s < p; s++ {
+		x.recvCounts[s] = counts(me, s)
+		x.recvNonzero[s] = x.recvCounts[s] > 0
+		x.out[s] = make([]float64, x.recvCounts[s])
+	}
+	for d := 0; d < p; d++ {
+		if cv := counts(d, me); cv > 0 {
+			x.sendBufs[d] = make([]byte, 4+method.MaxCompressedLen(cv))
+		} else {
+			x.sendBufs[d] = []byte{}
+		}
+	}
+	return x
+}
+
+// Exchange compresses send (counts(d, me) float64 values per rank d) on
+// the GPU, runs the two-sided all-to-all on the compressed payloads, and
+// decompresses the received slots. The returned slices are reused across
+// calls.
+func (x *TwoSidedCompressed) Exchange(send [][]float64) [][]float64 {
+	me := x.c.Rank()
+	p := x.c.Size()
+	dev := x.stream.Device()
+	simCounts := x.counts
+	if x.SimCounts != nil {
+		simCounts = x.SimCounts
+	}
+
+	// One compression kernel over the whole send buffer, then a full
+	// synchronization — no overlap with communication by design.
+	inBytes, outBytes := 0, 0
+	for d := 0; d < p; d++ {
+		cv := simCounts(d, me)
+		inBytes += 8 * cv
+		outBytes += x.method.MaxCompressedLen(cv)
+	}
+	payload := make([][]byte, p)
+	x.stream.Launch(dev.CompressCost(inBytes, outBytes), func() {
+		for d := 0; d < p; d++ {
+			vals := send[d]
+			if want := x.counts(d, me); len(vals) != want {
+				panic("exchange: send count does not match the two-sided compressed plan")
+			}
+			if len(vals) == 0 {
+				payload[d] = x.sendBufs[d]
+				continue
+			}
+			buf := x.sendBufs[d]
+			clen := x.method.Compress(buf[4:], vals)
+			binary.LittleEndian.PutUint32(buf, uint32(clen))
+			payload[d] = buf[:4+clen]
+		}
+	})
+	x.stream.Synchronize()
+
+	// Logical sizes for the scaled-volume mode follow the compression
+	// rate applied to the simulated counts.
+	var logical []int
+	if x.SimCounts != nil {
+		logical = make([]int, p)
+		for d := 0; d < p; d++ {
+			if cv := x.counts(d, me); cv > 0 {
+				logical[d] = len(payload[d]) * simCounts(d, me) / cv
+			}
+		}
+	}
+	recv := x.c.AlltoallvSparse(payload, x.recvNonzero, logical)
+
+	// Decompress the received slots in one kernel.
+	inBytes, outBytes = 0, 0
+	for s, cnt := range x.recvCounts {
+		if cnt == 0 {
+			continue
+		}
+		sc := simCounts(me, s)
+		inBytes += x.method.MaxCompressedLen(sc)
+		outBytes += 8 * sc
+	}
+	x.stream.Launch(dev.CompressCost(inBytes, outBytes), func() {
+		for s, cnt := range x.recvCounts {
+			if cnt == 0 {
+				continue
+			}
+			clen := int(binary.LittleEndian.Uint32(recv[s]))
+			x.method.Decompress(x.out[s], recv[s][4:4+clen])
+		}
+	})
+	x.stream.Synchronize()
+	return x.out
+}

@@ -1,0 +1,186 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// TestBluesteinPrimeSizes: Bluestein must handle awkward prime lengths.
+func TestBluesteinPrimeSizes(t *testing.T) {
+	for _, n := range []int{7, 13, 97, 257, 509} {
+		x := randVec(n, int64(n)*7)
+		want := DFT(x, Forward)
+		p := NewPlan[complex128](n)
+		got := append([]complex128(nil), x...)
+		p.ForwardTransform(got)
+		if e := maxErr(got, want); e > 1e-8*float64(n) {
+			t.Errorf("prime n=%d: error %g", n, e)
+		}
+	}
+}
+
+// TestPlanReuseManyTransforms: one plan across many transforms must not
+// accumulate state.
+func TestPlanReuseManyTransforms(t *testing.T) {
+	n := 64
+	p := NewPlan[complex128](n)
+	x := randVec(n, 1)
+	ref := append([]complex128(nil), x...)
+	p.ForwardTransform(ref)
+	for iter := 0; iter < 10; iter++ {
+		y := append([]complex128(nil), x...)
+		p.ForwardTransform(y)
+		if e := maxErr(y, ref); e != 0 {
+			t.Fatalf("iteration %d produced different output (err %g)", iter, e)
+		}
+	}
+}
+
+// TestBluesteinPlanReuse: the chirp scratch must be reentrant across
+// calls too.
+func TestBluesteinPlanReuse(t *testing.T) {
+	n := 17
+	p := NewPlan[complex128](n)
+	a := randVec(n, 2)
+	b := randVec(n, 3)
+	wantA := DFT(a, Forward)
+	ca := append([]complex128(nil), a...)
+	cb := append([]complex128(nil), b...)
+	p.ForwardTransform(ca)
+	p.ForwardTransform(cb)
+	ca2 := append([]complex128(nil), a...)
+	p.ForwardTransform(ca2)
+	if e := maxErr(ca, wantA); e > 1e-10 {
+		t.Errorf("first transform wrong: %g", e)
+	}
+	if e := maxErr(ca, ca2); e != 0 {
+		t.Errorf("plan state leaked between transforms: %g", e)
+	}
+}
+
+// TestConjugateSymmetryRealInput: the DFT of real input satisfies
+// X[n-k] = conj(X[k]).
+func TestConjugateSymmetryRealInput(t *testing.T) {
+	n := 128
+	rng := rand.New(rand.NewSource(5))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, 0)
+	}
+	NewPlan[complex128](n).ForwardTransform(x)
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(x[n-k]-cmplx.Conj(x[k])) > 1e-10 {
+			t.Fatalf("conjugate symmetry broken at k=%d", k)
+		}
+	}
+}
+
+// TestConvolutionTheorem: circular convolution equals pointwise spectral
+// product.
+func TestConvolutionTheorem(t *testing.T) {
+	n := 64
+	a := randVec(n, 10)
+	b := randVec(n, 11)
+	// Direct circular convolution.
+	direct := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			acc += a[j] * b[(i-j+n)%n]
+		}
+		direct[i] = acc
+	}
+	p := NewPlan[complex128](n)
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	p.ForwardTransform(fa)
+	p.ForwardTransform(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	p.InverseTransform(fa)
+	if e := maxErr(fa, direct); e > 1e-9*float64(n) {
+		t.Errorf("convolution theorem error %g", e)
+	}
+}
+
+// TestFP64RoundTripErrorGrowth: round-trip error grows slowly with n and
+// stays near machine epsilon (the FFT's orthogonality the paper leans on
+// in §III).
+func TestFP64RoundTripErrorGrowth(t *testing.T) {
+	for _, n := range []int{64, 1024, 16384} {
+		x := randVec(n, int64(n))
+		p := NewPlan[complex128](n)
+		y := append([]complex128(nil), x...)
+		p.ForwardTransform(y)
+		p.InverseTransform(y)
+		var errSq, normSq float64
+		for i := range x {
+			d := y[i] - x[i]
+			errSq += real(d)*real(d) + imag(d)*imag(d)
+			normSq += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		rel := math.Sqrt(errSq / normSq)
+		if rel > 1e-14 {
+			t.Errorf("n=%d: FP64 round-trip rel error %g", n, rel)
+		}
+	}
+}
+
+// TestGentlemanSandeBound: forward-transform error against the O(n²) DFT
+// oracle stays within the classic 1.06·(2n)^(2/3)·ε style bound quoted
+// in §III (with generous slack for the oracle's own rounding).
+func TestGentlemanSandeBound(t *testing.T) {
+	n := 256
+	x := randVec(n, 77)
+	want := DFT(x, Forward)
+	got := append([]complex128(nil), x...)
+	NewPlan[complex128](n).ForwardTransform(got)
+	var norm float64
+	for _, v := range want {
+		norm = math.Max(norm, cmplx.Abs(v))
+	}
+	bound := 10 * 1.06 * math.Pow(2*float64(n), 2.0/3) * 1.1e-16 * norm
+	for i := range got {
+		if cmplx.Abs(got[i]-want[i]) > bound {
+			t.Fatalf("error at %d exceeds Gentleman–Sande-style bound", i)
+		}
+	}
+}
+
+func TestBatchStridedWithDist(t *testing.T) {
+	// 3 vectors of length 4 at dist 5 (padded layout), stride 1.
+	n, count, dist := 4, 3, 5
+	x := randVec(count*dist, 9)
+	want := append([]complex128(nil), x...)
+	for v := 0; v < count; v++ {
+		out := DFT(x[v*dist:v*dist+n], Forward)
+		copy(want[v*dist:v*dist+n], out)
+	}
+	NewPlan[complex128](n).BatchStrided(x, count, 1, dist, Forward)
+	if e := maxErr(x, want); e > 1e-12 {
+		t.Errorf("dist-strided batch error %g", e)
+	}
+}
+
+func TestInverse3DScaling(t *testing.T) {
+	n0, n1, n2 := 4, 6, 2
+	x := randVec(n0*n1*n2, 13)
+	orig := append([]complex128(nil), x...)
+	Forward3D(x, n0, n1, n2)
+	Inverse3D(x, n0, n1, n2)
+	if e := maxErr(x, orig); e > 1e-12 {
+		t.Errorf("3-D inverse scaling error %g", e)
+	}
+}
+
+func TestTransform3DSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Transform3D(make([]complex128, 10), 2, 2, 2, Forward)
+}

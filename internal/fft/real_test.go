@@ -1,0 +1,164 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randReal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	return x
+}
+
+// fullSpectrum computes the reference via the complex DFT of the
+// real-extended input.
+func fullSpectrum(x []float64) []complex128 {
+	z := make([]complex128, len(x))
+	for i, v := range x {
+		z[i] = complex(v, 0)
+	}
+	return DFT(z, Forward)
+}
+
+func TestR2CForwardMatchesComplexDFT(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 128, 10, 12, 100} {
+		x := randReal(n, int64(n))
+		want := fullSpectrum(x)
+		p := NewPlanR2C[complex128](n)
+		out := make([]complex128, p.SpectrumLen())
+		p.Forward(x, out)
+		for k := 0; k <= n/2; k++ {
+			if cmplx.Abs(out[k]-want[k]) > 1e-9*float64(n) {
+				t.Errorf("n=%d k=%d: got %v want %v", n, k, out[k], want[k])
+			}
+		}
+	}
+}
+
+func TestR2CRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 8, 32, 1024, 6, 50} {
+		x := randReal(n, 3*int64(n))
+		p := NewPlanR2C[complex128](n)
+		spec := make([]complex128, p.SpectrumLen())
+		p.Forward(x, spec)
+		back := make([]float64, n)
+		p.Inverse(spec, back)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-11 {
+				t.Fatalf("n=%d: round trip error %g at %d", n, math.Abs(back[i]-x[i]), i)
+			}
+		}
+	}
+}
+
+func TestR2CFloat32Precision(t *testing.T) {
+	n := 256
+	x := randReal(n, 5)
+	p := NewPlanR2C[complex64](n)
+	spec := make([]complex64, p.SpectrumLen())
+	p.Forward(x, spec)
+	back := make([]float64, n)
+	p.Inverse(spec, back)
+	var maxE float64
+	for i := range x {
+		maxE = math.Max(maxE, math.Abs(back[i]-x[i]))
+	}
+	if maxE > 1e-5 {
+		t.Errorf("FP32 r2c round trip error %g", maxE)
+	}
+	if maxE < 1e-12 {
+		t.Errorf("FP32 r2c suspiciously exact (%g) — not computing in single precision?", maxE)
+	}
+}
+
+func TestR2CDCAndNyquistReal(t *testing.T) {
+	// Bins 0 and n/2 of a real signal's spectrum are purely real.
+	n := 64
+	x := randReal(n, 9)
+	p := NewPlanR2C[complex128](n)
+	spec := make([]complex128, p.SpectrumLen())
+	p.Forward(x, spec)
+	if math.Abs(imag(spec[0])) > 1e-12 || math.Abs(imag(spec[n/2])) > 1e-12 {
+		t.Errorf("DC/Nyquist not real: %v %v", spec[0], spec[n/2])
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	if math.Abs(real(spec[0])-sum) > 1e-10 {
+		t.Errorf("DC bin %g, want sum %g", real(spec[0]), sum)
+	}
+}
+
+func TestR2CParseval(t *testing.T) {
+	n := 128
+	x := randReal(n, 11)
+	p := NewPlanR2C[complex128](n)
+	spec := make([]complex128, p.SpectrumLen())
+	p.Forward(x, spec)
+	var ein float64
+	for _, v := range x {
+		ein += v * v
+	}
+	// Sum over the full spectrum using conjugate symmetry.
+	var eout float64
+	for k := 0; k <= n/2; k++ {
+		e := real(spec[k])*real(spec[k]) + imag(spec[k])*imag(spec[k])
+		if k == 0 || k == n/2 {
+			eout += e
+		} else {
+			eout += 2 * e
+		}
+	}
+	if math.Abs(eout-float64(n)*ein) > 1e-8*eout {
+		t.Errorf("Parseval: %g vs %g", eout, float64(n)*ein)
+	}
+}
+
+func TestR2CBatch(t *testing.T) {
+	n, count := 16, 5
+	p := NewPlanR2C[complex128](n)
+	x := randReal(n*count, 13)
+	spec := make([]complex128, p.SpectrumLen()*count)
+	p.ForwardBatch(x, spec, count)
+	for v := 0; v < count; v++ {
+		want := fullSpectrum(x[v*n : (v+1)*n])
+		for k := 0; k <= n/2; k++ {
+			if cmplx.Abs(spec[v*p.SpectrumLen()+k]-want[k]) > 1e-10 {
+				t.Fatalf("batch vector %d bin %d wrong", v, k)
+			}
+		}
+	}
+	back := make([]float64, n*count)
+	p.InverseBatch(spec, back, count)
+	for i := range x {
+		if math.Abs(back[i]-x[i]) > 1e-11 {
+			t.Fatalf("batch round trip error at %d", i)
+		}
+	}
+}
+
+func TestR2COddLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for odd length")
+		}
+	}()
+	NewPlanR2C[complex128](9)
+}
+
+func BenchmarkR2C1024(b *testing.B) {
+	p := NewPlanR2C[complex128](1024)
+	x := randReal(1024, 1)
+	spec := make([]complex128, p.SpectrumLen())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x, spec)
+	}
+}

@@ -1,0 +1,124 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randBoxIn returns a random non-empty sub-box of the given box.
+func randBoxIn(rng *rand.Rand, outer Box) Box {
+	var b Box
+	for d := 0; d < 3; d++ {
+		size := outer.Size(d)
+		lo := outer.Lo[d] + rng.Intn(size)
+		hi := lo + 1 + rng.Intn(outer.Hi[d]-lo)
+		b.Lo[d], b.Hi[d] = lo, hi
+	}
+	return b
+}
+
+func randOrder(rng *rand.Rand) Order {
+	perms := []Order{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	return perms[rng.Intn(len(perms))]
+}
+
+// TestPackUnpackFuzz round-trips random sub-boxes through random source
+// and destination layouts.
+func TestPackUnpackFuzz(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		outer := Box{Hi: [3]int{3 + rng.Intn(6), 3 + rng.Intn(6), 3 + rng.Intn(6)}}
+		sub := randBoxIn(rng, outer)
+		srcOrder, dstOrder := randOrder(rng), randOrder(rng)
+
+		src := make([]int, outer.Count())
+		for i := outer.Lo[0]; i < outer.Hi[0]; i++ {
+			for j := outer.Lo[1]; j < outer.Hi[1]; j++ {
+				for k := outer.Lo[2]; k < outer.Hi[2]; k++ {
+					src[srcOrder.Index(outer, [3]int{i, j, k})] = encode(i, j, k)
+				}
+			}
+		}
+		buf := make([]int, sub.Count())
+		if Pack(src, outer, srcOrder, sub, dstOrder, buf) != sub.Count() {
+			return false
+		}
+		dst := make([]int, outer.Count())
+		if Unpack(buf, sub, dst, outer, dstOrder) != sub.Count() {
+			return false
+		}
+		for i := sub.Lo[0]; i < sub.Hi[0]; i++ {
+			for j := sub.Lo[1]; j < sub.Hi[1]; j++ {
+				for k := sub.Lo[2]; k < sub.Hi[2]; k++ {
+					if dst[dstOrder.Index(outer, [3]int{i, j, k})] != encode(i, j, k) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReshapePlanFuzz: for random grids and rank counts, every pair of
+// decompositions yields conserving, symmetric plans.
+func TestReshapePlanFuzz(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := [3]int{2 + rng.Intn(14), 2 + rng.Intn(14), 2 + rng.Intn(14)}
+		p := 1 + rng.Intn(16)
+		var from, to []Box
+		if rng.Intn(2) == 0 {
+			from = Bricks(n, Factor3(p))
+		} else {
+			from = Pencils(n, rng.Intn(3), p)
+		}
+		to = Pencils(n, rng.Intn(3), p)
+
+		totalSend, totalRecv := 0, 0
+		for me := 0; me < p; me++ {
+			pl := NewPlan(me, from, to)
+			if pl.SendTotal != from[me].Count() || pl.RecvTotal != to[me].Count() {
+				return false
+			}
+			totalSend += pl.SendTotal
+			totalRecv += pl.RecvTotal
+		}
+		return totalSend == n[0]*n[1]*n[2] && totalRecv == totalSend
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderIndexBijective: Index enumerates each box cell exactly once.
+func TestOrderIndexBijective(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := Box{Lo: [3]int{rng.Intn(5), rng.Intn(5), rng.Intn(5)}}
+		for d := 0; d < 3; d++ {
+			b.Hi[d] = b.Lo[d] + 1 + rng.Intn(5)
+		}
+		o := randOrder(rng)
+		seen := make([]bool, b.Count())
+		for i := b.Lo[0]; i < b.Hi[0]; i++ {
+			for j := b.Lo[1]; j < b.Hi[1]; j++ {
+				for k := b.Lo[2]; k < b.Hi[2]; k++ {
+					idx := o.Index(b, [3]int{i, j, k})
+					if idx < 0 || idx >= len(seen) || seen[idx] {
+						return false
+					}
+					seen[idx] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

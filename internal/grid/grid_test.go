@@ -1,0 +1,222 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxBasics(t *testing.T) {
+	b := Box{Lo: [3]int{1, 2, 3}, Hi: [3]int{4, 5, 6}}
+	if b.Count() != 27 || b.Size(0) != 3 {
+		t.Errorf("count %d size0 %d", b.Count(), b.Size(0))
+	}
+	if !b.Contains(1, 2, 3) || b.Contains(4, 2, 3) {
+		t.Error("Contains boundary wrong")
+	}
+	if (Box{}).Count() != 0 || !(Box{}).Empty() {
+		t.Error("zero box should be empty")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Box{Lo: [3]int{0, 0, 0}, Hi: [3]int{4, 4, 4}}
+	b := Box{Lo: [3]int{2, 2, 2}, Hi: [3]int{6, 6, 6}}
+	ov := Intersect(a, b)
+	want := Box{Lo: [3]int{2, 2, 2}, Hi: [3]int{4, 4, 4}}
+	if ov != want {
+		t.Errorf("intersect = %v, want %v", ov, want)
+	}
+	c := Box{Lo: [3]int{10, 0, 0}, Hi: [3]int{12, 4, 4}}
+	if !Intersect(a, c).Empty() {
+		t.Error("disjoint boxes should intersect empty")
+	}
+}
+
+func TestFactor2(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 6: {2, 3}, 12: {3, 4}, 16: {4, 4}, 7: {1, 7}, 36: {6, 6}}
+	for p, want := range cases {
+		if got := Factor2(p); got != want {
+			t.Errorf("Factor2(%d) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestFactor3(t *testing.T) {
+	for _, p := range []int{1, 2, 6, 12, 24, 48, 96, 192, 384, 768, 1536, 100} {
+		f := Factor3(p)
+		if f[0]*f[1]*f[2] != p {
+			t.Errorf("Factor3(%d) = %v does not multiply back", p, f)
+		}
+		if f[0] > f[1] || f[1] > f[2] {
+			t.Errorf("Factor3(%d) = %v not sorted", p, f)
+		}
+	}
+	if got := Factor3(64); got != [3]int{4, 4, 4} {
+		t.Errorf("Factor3(64) = %v, want cube", got)
+	}
+}
+
+// TestBricksPartition: bricks tile the grid exactly (disjoint cover).
+func TestBricksPartition(t *testing.T) {
+	n := [3]int{7, 5, 9}
+	g := [3]int{2, 1, 3}
+	boxes := Bricks(n, g)
+	if len(boxes) != 6 {
+		t.Fatalf("expected 6 bricks, got %d", len(boxes))
+	}
+	seen := make(map[[3]int]int)
+	for _, b := range boxes {
+		for i := b.Lo[0]; i < b.Hi[0]; i++ {
+			for j := b.Lo[1]; j < b.Hi[1]; j++ {
+				for k := b.Lo[2]; k < b.Hi[2]; k++ {
+					seen[[3]int{i, j, k}]++
+				}
+			}
+		}
+	}
+	if len(seen) != n[0]*n[1]*n[2] {
+		t.Errorf("covered %d points, want %d", len(seen), n[0]*n[1]*n[2])
+	}
+	for pt, c := range seen {
+		if c != 1 {
+			t.Fatalf("point %v covered %d times", pt, c)
+		}
+	}
+}
+
+func TestBricksPartitionProperty(t *testing.T) {
+	f := func(n0, n1, n2, g0, g1, g2 uint8) bool {
+		n := [3]int{int(n0%16) + 1, int(n1%16) + 1, int(n2%16) + 1}
+		g := [3]int{int(g0%4) + 1, int(g1%4) + 1, int(g2%4) + 1}
+		boxes := Bricks(n, g)
+		total := 0
+		for _, b := range boxes {
+			total += b.Count()
+		}
+		return total == n[0]*n[1]*n[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPencilsSpanAxis(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	for axis := 0; axis < 3; axis++ {
+		boxes := Pencils(n, axis, 12)
+		for r, b := range boxes {
+			if b.Lo[axis] != 0 || b.Hi[axis] != n[axis] {
+				t.Errorf("axis %d rank %d pencil %v does not span", axis, r, b)
+			}
+		}
+		total := 0
+		for _, b := range boxes {
+			total += b.Count()
+		}
+		if total != 512 {
+			t.Errorf("axis %d pencils cover %d points", axis, total)
+		}
+	}
+}
+
+func TestForAxisOrder(t *testing.T) {
+	if ForAxis(0) != (Order{0, 1, 2}) || ForAxis(1) != (Order{1, 0, 2}) || ForAxis(2) != (Order{2, 0, 1}) {
+		t.Error("ForAxis wrong")
+	}
+}
+
+// fill assigns each global coordinate a unique value.
+func fillBox(b Box, o Order) []int {
+	data := make([]int, b.Count())
+	for i := b.Lo[0]; i < b.Hi[0]; i++ {
+		for j := b.Lo[1]; j < b.Hi[1]; j++ {
+			for k := b.Lo[2]; k < b.Hi[2]; k++ {
+				data[o.Index(b, [3]int{i, j, k})] = encode(i, j, k)
+			}
+		}
+	}
+	return data
+}
+
+func encode(i, j, k int) int { return i + 100*j + 10000*k }
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	srcBox := Box{Lo: [3]int{0, 0, 0}, Hi: [3]int{6, 4, 5}}
+	sub := Box{Lo: [3]int{1, 1, 2}, Hi: [3]int{5, 3, 4}}
+	for _, srcOrder := range []Order{Natural, {1, 0, 2}, {2, 1, 0}} {
+		for _, dstOrder := range []Order{Natural, {1, 0, 2}, {2, 0, 1}} {
+			src := fillBox(srcBox, srcOrder)
+			buf := make([]int, sub.Count())
+			if n := Pack(src, srcBox, srcOrder, sub, dstOrder, buf); n != sub.Count() {
+				t.Fatalf("pack wrote %d, want %d", n, sub.Count())
+			}
+			dstBox := Box{Lo: [3]int{0, 0, 0}, Hi: [3]int{8, 8, 8}}
+			dst := make([]int, dstBox.Count())
+			if n := Unpack(buf, sub, dst, dstBox, dstOrder); n != sub.Count() {
+				t.Fatalf("unpack read %d, want %d", n, sub.Count())
+			}
+			// Every point of sub must carry its encoded coordinate.
+			for i := sub.Lo[0]; i < sub.Hi[0]; i++ {
+				for j := sub.Lo[1]; j < sub.Hi[1]; j++ {
+					for k := sub.Lo[2]; k < sub.Hi[2]; k++ {
+						got := dst[dstOrder.Index(dstBox, [3]int{i, j, k})]
+						if got != encode(i, j, k) {
+							t.Fatalf("src %v dst %v: point (%d,%d,%d) = %d", srcOrder, dstOrder, i, j, k, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPlanConservation(t *testing.T) {
+	// Total send volume equals own inbox; total recv equals own outbox.
+	n := [3]int{16, 16, 16}
+	in := Bricks(n, Factor3(12))
+	out := Pencils(n, 0, 12)
+	for me := 0; me < 12; me++ {
+		pl := NewPlan(me, in, out)
+		if pl.SendTotal != in[me].Count() {
+			t.Errorf("rank %d sends %d, inbox has %d", me, pl.SendTotal, in[me].Count())
+		}
+		if pl.RecvTotal != out[me].Count() {
+			t.Errorf("rank %d receives %d, outbox has %d", me, pl.RecvTotal, out[me].Count())
+		}
+	}
+}
+
+func TestPlanSymmetry(t *testing.T) {
+	// r sends sub S to q exactly when q receives S from r.
+	n := [3]int{12, 10, 8}
+	in := Bricks(n, Factor3(6))
+	out := Pencils(n, 1, 6)
+	plans := make([]Plan, 6)
+	for me := range plans {
+		plans[me] = NewPlan(me, in, out)
+	}
+	for r, pl := range plans {
+		for _, s := range pl.Send {
+			found := false
+			for _, rc := range plans[s.Rank].Recv {
+				if rc.Rank == r && rc.Sub == s.Sub {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("send %d→%d sub %v has no matching recv", r, s.Rank, s.Sub)
+			}
+		}
+	}
+}
+
+func TestStrideOf(t *testing.T) {
+	b := Box{Hi: [3]int{4, 5, 6}}
+	if strideOf(b, Natural, 0) != 1 || strideOf(b, Natural, 1) != 4 || strideOf(b, Natural, 2) != 20 {
+		t.Error("strides for natural order wrong")
+	}
+	o := Order{2, 0, 1}
+	if strideOf(b, o, 2) != 1 || strideOf(b, o, 0) != 6 || strideOf(b, o, 1) != 24 {
+		t.Error("strides for permuted order wrong")
+	}
+}

@@ -1,0 +1,301 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/netsim"
+)
+
+// Barrier synchronizes all ranks with the dissemination algorithm
+// (⌈log2 p⌉ rounds of small messages), which works for any rank count.
+func (c *Comm) Barrier() {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	epoch := c.barrierEpoch
+	c.barrierEpoch++
+	r := c.Rank()
+	round := 0
+	for k := 1; k < p; k <<= 1 {
+		tag := tagBarrier + epoch<<6 + round
+		c.sendInternal((r+k)%p, tag, nil, 0)
+		c.recvInternal((r-k+p)%p, tag)
+		round++
+	}
+}
+
+// collTag returns a fresh internal tag for one collective invocation.
+// Every rank calls collectives in the same order, so epochs agree.
+func (c *Comm) collTag() int {
+	t := tagCollBase + c.collEpoch<<6
+	c.collEpoch++
+	return t
+}
+
+// Bcast distributes root's buf to all ranks (binomial tree, the MPICH
+// algorithm) and returns the received copy (root returns buf itself).
+func (c *Comm) Bcast(root int, buf []byte) []byte {
+	p := c.Size()
+	tag := c.collTag()
+	if p == 1 {
+		return buf
+	}
+	vr := (c.Rank() - root + p) % p
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			src := (vr - mask + root) % p
+			buf = c.recvInternal(src, tag).Payload
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vr+mask < p {
+			dst := (vr + mask + root) % p
+			c.sendInternal(dst, tag, buf, len(buf))
+		}
+	}
+	return buf
+}
+
+// Gather collects each rank's buf at root through a binomial tree
+// (⌈log2 p⌉ receives at the root rather than p−1); root receives a
+// slice indexed by rank, other ranks receive nil.
+func (c *Comm) Gather(root int, buf []byte) [][]byte {
+	p := c.Size()
+	tag := c.collTag()
+	vr := (c.Rank() - root + p) % p
+	// Accumulate this rank's subtree, tagged with owner ranks.
+	acc := appendOwned(nil, c.Rank(), buf)
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			parent := (vr - mask + root) % p
+			c.sendInternal(parent, tag, acc, len(acc))
+			return nil
+		}
+		if child := vr + mask; child < p {
+			got := c.recvInternal((child+root)%p, tag).Payload
+			acc = append(acc, got...)
+		}
+		mask <<= 1
+	}
+	out := make([][]byte, p)
+	for off := 0; off < len(acc); {
+		rank := int(binary.LittleEndian.Uint32(acc[off:]))
+		n := int(binary.LittleEndian.Uint32(acc[off+4:]))
+		off += 8
+		out[rank] = acc[off : off+n : off+n]
+		off += n
+	}
+	return out
+}
+
+func appendOwned(dst []byte, rank int, buf []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(rank))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(buf)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, buf...)
+}
+
+// Allgather collects every rank's buf on every rank (gather at rank 0 +
+// broadcast of the concatenation; simple and adequate for the small
+// control payloads it carries here).
+func (c *Comm) Allgather(buf []byte) [][]byte {
+	parts := c.Gather(0, buf)
+	var flat []byte
+	if c.Rank() == 0 {
+		flat = encodeParts(parts)
+	}
+	flat = c.Bcast(0, flat)
+	return decodeParts(flat, c.Size())
+}
+
+func encodeParts(parts [][]byte) []byte {
+	n := 0
+	for _, p := range parts {
+		n += 4 + len(p)
+	}
+	out := make([]byte, 0, n)
+	var hdr [4]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+		out = append(out, hdr[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+func decodeParts(flat []byte, count int) [][]byte {
+	parts := make([][]byte, count)
+	off := 0
+	for i := 0; i < count; i++ {
+		n := int(binary.LittleEndian.Uint32(flat[off:]))
+		off += 4
+		parts[i] = flat[off : off+n : off+n]
+		off += n
+	}
+	return parts
+}
+
+// AllreduceFloat64 combines one value per rank with op ("sum", "max",
+// "min") and returns the result on every rank, using recursive doubling
+// (with the standard fold step for non-power-of-two rank counts).
+func (c *Comm) AllreduceFloat64(op string, v float64) float64 {
+	p := c.Size()
+	r := c.Rank()
+	tag := c.collTag()
+	combine := func(a, b float64) float64 {
+		switch op {
+		case "sum":
+			return a + b
+		case "max":
+			return math.Max(a, b)
+		case "min":
+			return math.Min(a, b)
+		}
+		panic("mpi: unknown reduction op " + op)
+	}
+	send := func(dst int, x float64, round int) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		c.sendInternal(dst, tag+round, buf[:], 8)
+	}
+	recv := func(src, round int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(c.recvInternal(src, tag+round).Payload))
+	}
+
+	pof2 := 1
+	for pof2*2 <= p {
+		pof2 *= 2
+	}
+	rem := p - pof2
+	acc := v
+	newRank := -1
+	switch {
+	case r < 2*rem && r%2 != 0: // folds into the left neighbour
+		send(r-1, acc, 0)
+	case r < 2*rem: // absorbs the right neighbour
+		acc = combine(acc, recv(r+1, 0))
+		newRank = r / 2
+	default:
+		newRank = r - rem
+	}
+	if newRank >= 0 {
+		oldOf := func(nr int) int {
+			if nr < rem {
+				return 2 * nr
+			}
+			return nr + rem
+		}
+		round := 1
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partner := oldOf(newRank ^ mask)
+			send(partner, acc, round)
+			acc = combine(acc, recv(partner, round))
+			round++
+		}
+	}
+	// Hand results back to the folded ranks.
+	if r < 2*rem {
+		if r%2 == 0 {
+			send(r+1, acc, 63)
+		} else {
+			acc = recv(r-1, 63)
+		}
+	}
+	return acc
+}
+
+// Alltoallv is the baseline generalized all-to-all: the default linear
+// algorithm of Open MPI's basic module, which posts every send up front
+// (flooding the fabric — this is the behaviour whose degradation Fig. 3
+// shows) and then drains every receive. send[d] is the payload for rank
+// d; the returned slice holds one received payload per source rank.
+func (c *Comm) Alltoallv(send [][]byte) [][]byte {
+	return c.alltoallvImpl(send, nil, nil, c.collTag(), false, nil)
+}
+
+// AlltoallvSparse is Alltoallv for callers that know the global pattern
+// (as MPI_Alltoallv's count arrays provide): empty sends are skipped,
+// and only sources with recvNonzero[src] are drained. logical, when
+// non-nil, overrides each message's on-the-wire size for timing (the
+// scaled-volume experiment mode).
+func (c *Comm) AlltoallvSparse(send [][]byte, recvNonzero []bool, logical []int) [][]byte {
+	return c.alltoallvImpl(send, nil, recvNonzero, c.collTag(), false, logical)
+}
+
+// AlltoallvN is the phantom variant of Alltoallv: sizes[d] logical bytes
+// are sent to each rank d with no payload. It returns nothing.
+func (c *Comm) AlltoallvN(sizes []int) {
+	c.alltoallvImpl(nil, sizes, nil, c.collTag(), true, nil)
+}
+
+func (c *Comm) alltoallvImpl(send [][]byte, sizes []int, recvNonzero []bool, base int, phantom bool, logicalSizes []int) [][]byte {
+	p := c.Size()
+	r := c.Rank()
+	logical := func(dst int) int {
+		switch {
+		case phantom:
+			return sizes[dst]
+		case logicalSizes != nil:
+			return logicalSizes[dst]
+		default:
+			return len(send[dst])
+		}
+	}
+	sparse := recvNonzero != nil
+	// Post all sends in rank order, self first (mirrors the basic
+	// linear implementation); sparse mode skips empty peers.
+	active := 0
+	for i := 0; i < p; i++ {
+		dst := (r + i) % p
+		n := logical(dst)
+		if sparse && n == 0 {
+			continue
+		}
+		active++
+		var payload []byte
+		if !phantom {
+			payload = send[dst]
+		}
+		lat, proto := c.rendezvousCost(dst, n)
+		c.p.SendMsg(dst, base, netsim.SendOpts{Payload: payload, Bytes: n, ExtraLatency: lat, ProtoOverhead: proto})
+	}
+	// Every arrival is matched against the posted-receive list, whose
+	// length here is the number of active peers — the per-message
+	// matching cost that grows with scale and throttles the default
+	// all-to-all (one-sided puts bypass it entirely).
+	cfg := c.Config()
+	matchCost := 0.0
+	if cfg.MatchCost > 0 {
+		depth := active
+		if cfg.MatchQueueCap > 0 && depth > cfg.MatchQueueCap {
+			depth = cfg.MatchQueueCap
+		}
+		matchCost = cfg.MatchCost * float64(depth)
+	}
+	recv := make([][]byte, p)
+	latest := c.Now()
+	for i := 0; i < p; i++ {
+		src := (r - i + p) % p
+		if sparse && !recvNonzero[src] {
+			continue
+		}
+		pkt := c.recvInternal(src, base)
+		c.Elapse(matchCost)
+		recv[src] = pkt.Payload
+		if pkt.Arrival > latest {
+			latest = pkt.Arrival
+		}
+	}
+	c.AdvanceTo(latest)
+	if phantom {
+		return nil
+	}
+	return recv
+}

@@ -1,0 +1,72 @@
+package mpi
+
+import "repro/internal/netsim"
+
+// Request is the handle of a nonblocking operation. In this runtime a
+// send is complete at injection time (the engine owns the transfer
+// afterwards), so Isend returns an already-complete request; a receive
+// is matched when the request is waited on — matching is deferred, not
+// progressed in the background, but arrival timestamps are exact, so
+// Wait returns at the same virtual time a progressed implementation
+// would have.
+type Request struct {
+	c        *Comm
+	recv     bool
+	src, tag int
+	done     bool
+	pkt      netsim.Packet
+}
+
+// Isend starts a nonblocking send. The returned request is already
+// complete (buffered eager or injected rendezvous — the transfer
+// proceeds on the engine's timeline either way).
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	c.Send(dst, tag, data)
+	return &Request{c: c, done: true}
+}
+
+// IsendN is the phantom variant of Isend.
+func (c *Comm) IsendN(dst, tag, n int) *Request {
+	c.SendN(dst, tag, n)
+	return &Request{c: c, done: true}
+}
+
+// Irecv posts a nonblocking receive for (src, tag).
+func (c *Comm) Irecv(src, tag int) *Request {
+	checkUserTag(tag)
+	return &Request{c: c, recv: true, src: src, tag: tag}
+}
+
+// Wait blocks until the operation completes and returns the received
+// payload (nil for sends and phantom messages). Waiting twice is a
+// no-op returning the same payload.
+func (r *Request) Wait() []byte {
+	if !r.done {
+		r.pkt = r.c.recvInternal(r.src, r.tag)
+		r.done = true
+	}
+	return r.pkt.Payload
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.done }
+
+// Packet returns the full packet metadata of a completed receive.
+func (r *Request) Packet() netsim.Packet {
+	r.Wait()
+	return r.pkt
+}
+
+// Waitall completes every request, returning the latest arrival time
+// among the receives (the caller's clock is already advanced past it).
+func (c *Comm) Waitall(reqs ...*Request) float64 {
+	latest := c.Now()
+	for _, r := range reqs {
+		r.Wait()
+		if r.recv && r.pkt.Arrival > latest {
+			latest = r.pkt.Arrival
+		}
+	}
+	c.AdvanceTo(latest)
+	return latest
+}

@@ -1,0 +1,94 @@
+package mpi
+
+import "repro/internal/netsim"
+
+// Win is a one-sided communication window exposing a byte buffer to
+// remote Put operations, as used by the OSC all-to-all of §V. Creation
+// is a collective with a fixed setup cost; the paper's window-caching
+// optimization corresponds to reusing one Win across many exchanges.
+type Win struct {
+	c   *Comm
+	id  int
+	buf []byte
+	tag int
+	// puts counts the put packets this rank has issued toward each
+	// target in the current epoch (diagnostics).
+	puts []int
+}
+
+// WinCreate collectively creates a window over buf. All ranks must call
+// it in matching order. The returned window can (and should) be cached:
+// creation costs a barrier plus a fixed registration overhead per rank.
+func (c *Comm) WinCreate(buf []byte) *Win {
+	id := c.nextWinID
+	c.nextWinID++
+	c.Elapse(c.winCreateCost)
+	c.Barrier()
+	return &Win{c: c, id: id, buf: buf, tag: tagWinBase + id, puts: make([]int, c.Size())}
+}
+
+// Buffer returns the window's exposed memory.
+func (w *Win) Buffer() []byte { return w.buf }
+
+// Put copies data into the target rank's window at the given byte
+// offset, one-sided: the target takes no action until its next Fence.
+// data must stay untouched until the epoch ends (GPU-direct zero-copy,
+// like MPI_Win_put from device memory). Put returns at injection time;
+// the returned completion time is when the data is resident at the
+// target, usable for flush-style waits.
+func (w *Win) Put(target, offset int, data []byte) (completion float64) {
+	return w.PutLogical(target, offset, data, len(data))
+}
+
+// PutLogical is Put with an explicit logical size used for timing — the
+// scaled-volume mode of the experiment harness charges transfer time as
+// if the payload were larger (see DESIGN.md); data placement uses the
+// real bytes.
+func (w *Win) PutLogical(target, offset int, data []byte, logical int) (completion float64) {
+	w.puts[target]++
+	return w.c.p.SendMsg(target, w.tag, netsim.SendOpts{
+		Payload: data, Bytes: logical, Meta: offset,
+		ProtoOverhead: w.c.Config().RMAOverhead, Unmatched: true,
+	})
+}
+
+// PutN is the phantom variant of Put: n logical bytes, no payload.
+func (w *Win) PutN(target, offset, n int) (completion float64) {
+	w.puts[target]++
+	return w.c.p.SendMsg(target, w.tag, netsim.SendOpts{
+		Bytes: n, Meta: offset,
+		ProtoOverhead: w.c.Config().RMAOverhead, Unmatched: true,
+	})
+}
+
+// Fence closes an access epoch: it drains the expected put packets into
+// the window buffer (expected[src] = number of puts rank src issued
+// toward this rank this epoch; nil means none) and then synchronizes all
+// ranks. The expected counts are structural knowledge of the algorithm
+// using the window — exactly what a real implementation derives from its
+// communication schedule.
+func (w *Win) Fence(expected []int) {
+	latest := w.c.Now()
+	if expected != nil {
+		for src, cnt := range expected {
+			for i := 0; i < cnt; i++ {
+				pkt := w.c.recvInternal(src, w.tag)
+				if pkt.Arrival > latest {
+					latest = pkt.Arrival
+				}
+				if pkt.Payload != nil {
+					copy(w.buf[pkt.Meta:], pkt.Payload)
+				}
+			}
+		}
+	}
+	w.c.AdvanceTo(latest)
+	for i := range w.puts {
+		w.puts[i] = 0
+	}
+	w.c.Barrier()
+}
+
+// PutsIssued reports how many puts this rank issued toward target in the
+// current epoch.
+func (w *Win) PutsIssued(target int) int { return w.puts[target] }

@@ -1,0 +1,439 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sort"
+)
+
+// Packet is a delivered message as seen by the receiver.
+type Packet struct {
+	Src     int
+	Tag     int
+	Payload []byte // nil for phantom (metadata-only) transfers
+	Bytes   int    // logical size used for timing
+	Meta    int    // caller-defined metadata (e.g. a window offset)
+	Arrival float64
+
+	unmatched bool // bypasses the matching engine (one-sided put)
+}
+
+// TraceEvent describes one completed transfer reservation.
+type TraceEvent struct {
+	Src, Dst, Tag int
+	Bytes         int
+	// Kind is "local", "intra", or "inter".
+	Kind string
+	// Injected is when the sender proceeded; End when the transfer left
+	// the path resources; Arrival when the receiver can observe it.
+	Injected, End, Arrival float64
+}
+
+// Stats aggregates traffic counters for a run.
+type Stats struct {
+	Messages   int
+	BytesIntra int64 // between ranks of one node
+	BytesInter int64 // across nodes
+	BytesLocal int64 // rank to itself
+}
+
+// Result is returned by Run.
+type Result struct {
+	// Time is the virtual completion time of the slowest rank.
+	Time float64
+	// Clocks holds each rank's final virtual clock.
+	Clocks []float64
+	Stats  Stats
+}
+
+type pktKey struct{ src, tag int }
+
+type reqKind uint8
+
+const (
+	reqNone reqKind = iota
+	reqDeliver
+	reqMatch
+	// reqResolved marks a formerly blocked match whose packet has already
+	// been handed over by deliver; the scheduler only needs to resume it.
+	reqResolved
+)
+
+type request struct {
+	kind      reqKind
+	dst       int
+	tag       int
+	src       int
+	payload   []byte
+	bytes     int
+	meta      int
+	extra     float64 // additional arrival latency (protocol surcharge)
+	proto     float64 // per-message resource occupancy (two-sided protocol processing)
+	unmatched bool
+}
+
+// Proc is the handle a rank program uses to interact with the simulator.
+// It must only be used from the goroutine running that rank's body.
+type Proc struct {
+	eng      *Engine
+	rank     int
+	node     int
+	clock    float64
+	wake     chan struct{}
+	req      request
+	resp     Packet
+	blocked  bool
+	pending  pktKey
+	mailbox  map[pktKey][]Packet
+	buffered int // matchable packets queued (unexpected-queue length)
+	done     bool
+	err      interface{} // recovered panic value
+	heapIdx  int
+}
+
+// Rank returns this rank's id.
+func (p *Proc) Rank() int { return p.rank }
+
+// Node returns the node hosting this rank.
+func (p *Proc) Node() int { return p.node }
+
+// Size returns the total number of ranks.
+func (p *Proc) Size() int { return len(p.eng.procs) }
+
+// Config returns the machine description.
+func (p *Proc) Config() Config { return p.eng.cfg }
+
+// Now returns the rank's virtual clock in seconds.
+func (p *Proc) Now() float64 { return p.clock }
+
+// Elapse advances the rank's virtual clock by d seconds of local work
+// (compute, kernel time, ...). It involves no scheduling.
+func (p *Proc) Elapse(d float64) {
+	if d < 0 {
+		panic("netsim: negative elapse")
+	}
+	p.clock += d
+}
+
+// AdvanceTo raises the rank's clock to at least t (used to wait for a
+// locally known event such as a GPU kernel completion).
+func (p *Proc) AdvanceTo(t float64) {
+	if t > p.clock {
+		p.clock = t
+	}
+}
+
+// Send transfers a message of the given logical size toward dst, tagged
+// tag. payload may be nil for phantom transfers; it is handed to the
+// receiver as-is (the caller must not mutate it afterwards). Send
+// returns once the message is injected (sender overhead elapsed); the
+// transfer itself completes in the background at a time the receiver
+// observes as Packet.Arrival.
+func (p *Proc) Send(dst, tag int, payload []byte, bytes int) {
+	p.SendDelayed(dst, tag, payload, bytes, 0)
+}
+
+// SendDelayed is Send with an additional arrival-latency surcharge,
+// used by higher layers to model protocol round trips (e.g. the
+// rendezvous handshake of large two-sided messages) without a separate
+// progress engine.
+func (p *Proc) SendDelayed(dst, tag int, payload []byte, bytes int, extraLatency float64) {
+	p.SendMsg(dst, tag, SendOpts{Payload: payload, Bytes: bytes, ExtraLatency: extraLatency})
+}
+
+// SendOpts carries the optional parameters of SendMsg.
+type SendOpts struct {
+	Payload []byte
+	Bytes   int
+	Meta    int // delivered as Packet.Meta (e.g. a window offset)
+	// ExtraLatency is added to the arrival time (protocol round trips).
+	ExtraLatency float64
+	// ProtoOverhead additionally occupies the transfer's path resources,
+	// modeling per-message protocol processing of two-sided transports
+	// (rendezvous progression); one-sided RDMA puts leave it zero.
+	ProtoOverhead float64
+	// Unmatched marks one-sided transfers that bypass the receiver's
+	// message-matching engine: they neither occupy the unexpected queue
+	// nor pay the per-entry matching cost.
+	Unmatched bool
+}
+
+// SendMsg is the most general send. It returns the transfer's arrival
+// time at the destination, which higher layers may use to implement
+// flush-style completion waits.
+func (p *Proc) SendMsg(dst, tag int, opts SendOpts) (arrival float64) {
+	if dst < 0 || dst >= len(p.eng.procs) {
+		panic(fmt.Sprintf("netsim: send to invalid rank %d", dst))
+	}
+	if opts.ExtraLatency < 0 || opts.ProtoOverhead < 0 {
+		panic("netsim: negative protocol surcharge")
+	}
+	p.req = request{kind: reqDeliver, dst: dst, tag: tag, src: p.rank,
+		payload: opts.Payload, bytes: opts.Bytes, meta: opts.Meta,
+		extra: opts.ExtraLatency, proto: opts.ProtoOverhead, unmatched: opts.Unmatched}
+	p.yield()
+	return p.resp.Arrival
+}
+
+// SendFull is kept for callers that pass a metadata word directly.
+func (p *Proc) SendFull(dst, tag int, payload []byte, bytes, meta int, extraLatency float64) (arrival float64) {
+	return p.SendMsg(dst, tag, SendOpts{Payload: payload, Bytes: bytes, Meta: meta, ExtraLatency: extraLatency})
+}
+
+// Recv blocks until a message from src with the given tag arrives, and
+// returns it. The rank's clock advances to the arrival time.
+func (p *Proc) Recv(src, tag int) Packet {
+	p.req = request{kind: reqMatch, src: src, tag: tag}
+	p.yield()
+	return p.resp
+}
+
+func (p *Proc) yield() {
+	p.eng.yieldCh <- p
+	<-p.wake
+}
+
+// Engine drives a set of rank goroutines through virtual time.
+type Engine struct {
+	cfg     Config
+	procs   []*Proc
+	egress  []resource
+	ingress []resource
+	bus     []resource
+	yieldCh chan *Proc
+	ready   procHeap
+	stats   Stats
+}
+
+// Run executes body once per rank of the machine described by cfg and
+// returns the virtual completion time and traffic statistics. Bodies
+// interact through their Proc handles only. Run panics if the rank
+// programs deadlock or if any body panics.
+func Run(cfg Config, body func(*Proc)) Result {
+	cfg.validate()
+	// The engine is strictly cooperative (one runnable goroutine at any
+	// moment); pinning to one OS thread avoids cross-core channel
+	// handoffs, which dominate wall time at large rank counts.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	n := cfg.Ranks()
+	eng := &Engine{
+		cfg:     cfg,
+		procs:   make([]*Proc, n),
+		egress:  make([]resource, cfg.Nodes),
+		ingress: make([]resource, cfg.Nodes),
+		bus:     make([]resource, cfg.Nodes),
+		yieldCh: make(chan *Proc),
+	}
+	for r := 0; r < n; r++ {
+		p := &Proc{
+			eng:     eng,
+			rank:    r,
+			node:    cfg.NodeOf(r),
+			wake:    make(chan struct{}),
+			mailbox: make(map[pktKey][]Packet),
+			heapIdx: -1,
+		}
+		eng.procs[r] = p
+		go func() {
+			<-p.wake
+			defer func() {
+				p.err = recover()
+				p.done = true
+				eng.yieldCh <- p
+			}()
+			body(p)
+		}()
+	}
+
+	alive := n
+	// Bring every proc to its first request.
+	for _, p := range eng.procs {
+		if eng.resume(p) {
+			alive--
+		}
+	}
+	for alive > 0 {
+		if eng.ready.Len() == 0 {
+			eng.reportDeadlock()
+		}
+		p := heap.Pop(&eng.ready).(*Proc)
+		switch p.req.kind {
+		case reqDeliver:
+			eng.deliver(p)
+			if eng.resume(p) {
+				alive--
+			}
+		case reqMatch:
+			key := pktKey{p.req.src, p.req.tag}
+			if q := p.mailbox[key]; len(q) > 0 {
+				eng.completeMatch(p, key)
+				if eng.resume(p) {
+					alive--
+				}
+			} else {
+				p.blocked = true
+				p.pending = key
+			}
+		case reqResolved:
+			if eng.resume(p) {
+				alive--
+			}
+		default:
+			panic("netsim: invalid request in scheduler")
+		}
+	}
+	res := Result{Stats: eng.stats, Clocks: make([]float64, n)}
+	for i, p := range eng.procs {
+		res.Clocks[i] = p.clock
+		if p.clock > res.Time {
+			res.Time = p.clock
+		}
+	}
+	return res
+}
+
+// resume transfers control to p until it yields again; it returns true
+// if p finished. A yielding p with a fresh request is queued.
+func (eng *Engine) resume(p *Proc) (finished bool) {
+	p.wake <- struct{}{}
+	q := <-eng.yieldCh
+	if q.done {
+		if q.err != nil {
+			panic(q.err)
+		}
+		return true
+	}
+	heap.Push(&eng.ready, q)
+	return false
+}
+
+// deliver processes a send request: books the path resources, computes
+// the arrival time, and hands the packet to the destination (resolving a
+// blocked receiver if one is waiting on the matching key).
+func (eng *Engine) deliver(p *Proc) {
+	req := &p.req
+	cfg := &eng.cfg
+	injected := p.clock + cfg.SendOverhead
+	srcNode, dstNode := p.node, cfg.NodeOf(req.dst)
+
+	var end, latency float64
+	var kind string
+	switch {
+	case req.dst == p.rank:
+		end = injected + float64(req.bytes)/cfg.LocalBW
+		eng.stats.BytesLocal += int64(req.bytes)
+		kind = "local"
+	case srcNode == dstNode:
+		_, end = eng.bus[srcNode].reserve(injected, float64(req.bytes)/cfg.IntraBW+req.proto)
+		latency = cfg.IntraLatency
+		eng.stats.BytesIntra += int64(req.bytes)
+		kind = "intra"
+	default:
+		_, end = reservePair(&eng.egress[srcNode], &eng.ingress[dstNode], injected, float64(req.bytes)/cfg.InterBW+req.proto)
+		latency = cfg.InterLatency
+		eng.stats.BytesInter += int64(req.bytes)
+		kind = "inter"
+	}
+	eng.stats.Messages++
+	if cfg.Tracer != nil {
+		cfg.Tracer(TraceEvent{
+			Src: p.rank, Dst: req.dst, Tag: req.tag, Bytes: req.bytes,
+			Kind: kind, Injected: injected, End: end, Arrival: end + latency + req.extra,
+		})
+	}
+
+	pkt := Packet{Src: p.rank, Tag: req.tag, Payload: req.payload, Bytes: req.bytes, Meta: req.meta, Arrival: end + latency + req.extra, unmatched: req.unmatched}
+	p.resp = pkt
+	dst := eng.procs[req.dst]
+	key := pktKey{p.rank, req.tag}
+	dst.mailbox[key] = append(dst.mailbox[key], pkt)
+	if !pkt.unmatched {
+		dst.buffered++
+	}
+	p.clock = injected
+
+	if dst.blocked && dst.pending == key {
+		dst.blocked = false
+		eng.completeMatch(dst, key)
+		dst.req.kind = reqResolved
+		heap.Push(&eng.ready, dst)
+	}
+}
+
+// completeMatch pops the earliest packet for key into p.resp and raises
+// p's clock to its arrival, charging the message-matching cost for
+// two-sided packets (proportional to the unexpected-queue depth).
+func (eng *Engine) completeMatch(p *Proc, key pktKey) {
+	q := p.mailbox[key]
+	pkt := q[0]
+	if len(q) == 1 {
+		delete(p.mailbox, key)
+	} else {
+		p.mailbox[key] = q[1:]
+	}
+	if pkt.Arrival > p.clock {
+		p.clock = pkt.Arrival
+	}
+	if !pkt.unmatched {
+		cfg := &eng.cfg
+		if cfg.MatchCost > 0 {
+			depth := p.buffered
+			if cfg.MatchQueueCap > 0 && depth > cfg.MatchQueueCap {
+				depth = cfg.MatchQueueCap
+			}
+			p.clock += cfg.MatchCost * float64(depth)
+		}
+		p.buffered--
+	}
+	p.resp = pkt
+}
+
+func (eng *Engine) reportDeadlock() {
+	var waiting []string
+	for _, p := range eng.procs {
+		if p.blocked {
+			waiting = append(waiting, fmt.Sprintf("rank %d waits for (src=%d, tag=%d) at t=%.3gs",
+				p.rank, p.pending.src, p.pending.tag, p.clock))
+		}
+	}
+	sort.Strings(waiting)
+	msg := "netsim: deadlock — all ranks blocked:\n"
+	for i, w := range waiting {
+		if i == 16 {
+			msg += fmt.Sprintf("  ... and %d more\n", len(waiting)-16)
+			break
+		}
+		msg += "  " + w + "\n"
+	}
+	panic(msg)
+}
+
+// procHeap orders procs by clock (rank breaks ties for determinism).
+type procHeap []*Proc
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].rank < h[j].rank
+}
+func (h procHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *procHeap) Push(x interface{}) {
+	p := x.(*Proc)
+	p.heapIdx = len(*h)
+	*h = append(*h, p)
+}
+func (h *procHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	p.heapIdx = -1
+	*h = old[:n-1]
+	return p
+}

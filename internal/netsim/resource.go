@@ -1,0 +1,39 @@
+package netsim
+
+// resource is a serialized (FIFO) bandwidth server: transfers through it
+// queue in reservation order and occupy it back to back. Reservations are
+// made in nondecreasing virtual-time order thanks to the engine's
+// min-clock scheduling, so first-come-first-served is also
+// earliest-first.
+type resource struct {
+	freeAt float64
+}
+
+// reserve books a transfer of the given duration starting no earlier
+// than at, and returns its [begin, end) interval.
+func (r *resource) reserve(at, dur float64) (begin, end float64) {
+	begin = at
+	if r.freeAt > begin {
+		begin = r.freeAt
+	}
+	end = begin + dur
+	r.freeAt = end
+	return begin, end
+}
+
+// reservePair books a transfer across two resources (egress NIC of the
+// source node, ingress NIC of the destination node) with cut-through
+// semantics: the egress slot is taken as soon as the egress is free, and
+// the ingress slot starts no earlier than the egress slot begins —
+// fabric buffering decouples the queues, so a backed-up destination does
+// not idle the sender's egress (no convoy effect).
+func reservePair(eg, in *resource, at, dur float64) (begin, end float64) {
+	begin, _ = eg.reserve(at, dur)
+	inBegin := begin
+	if in.freeAt > inBegin {
+		inBegin = in.freeAt
+	}
+	end = inBegin + dur
+	in.freeAt = end
+	return begin, end
+}

@@ -1,0 +1,144 @@
+// Package plot renders small ASCII line charts so the experiment
+// drivers can show the paper's figures directly in the terminal
+// (`-plot` flags on cmd/alltoallbench and cmd/fftbench).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// markers distinguish up to eight series.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the series over shared x labels into a width×height
+// character grid with a y-axis, a legend, and optional log-scale y.
+func Chart(title string, xlabels []string, series []Series, width, height int, logY bool) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) || (logY && v <= 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return title + "\n(no data)\n"
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	tr := func(v float64) float64 { return v }
+	if logY {
+		tr = math.Log10
+	}
+	tlo, thi := tr(lo), tr(hi)
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	n := 0
+	for _, s := range series {
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	col := func(i int) int {
+		if n <= 1 {
+			return 0
+		}
+		return i * (width - 1) / (n - 1)
+	}
+	row := func(v float64) int {
+		f := (tr(v) - tlo) / (thi - tlo)
+		r := int(math.Round(float64(height-1) * (1 - f)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Values {
+			if math.IsNaN(v) || (logY && v <= 0) {
+				continue
+			}
+			grid[row(v)][col(i)] = m
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yfmt := func(v float64) string { return fmt.Sprintf("%9.3g", v) }
+	for r, line := range grid {
+		label := strings.Repeat(" ", 9)
+		switch r {
+		case 0:
+			label = yfmt(hi)
+		case height - 1:
+			label = yfmt(lo)
+		case (height - 1) / 2:
+			mid := tlo + (thi-tlo)/2
+			if logY {
+				label = yfmt(math.Pow(10, mid))
+			} else {
+				label = yfmt(mid)
+			}
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+	// X labels: first, middle, last.
+	if len(xlabels) > 0 {
+		xline := make([]rune, width)
+		for i := range xline {
+			xline[i] = ' '
+		}
+		place := func(i int) {
+			lbl := xlabels[i]
+			start := col(i)
+			if start+len(lbl) > width {
+				start = width - len(lbl)
+			}
+			for j, ch := range lbl {
+				if start+j < width {
+					xline[start+j] = ch
+				}
+			}
+		}
+		place(0)
+		if len(xlabels) > 2 {
+			place(len(xlabels) / 2)
+		}
+		if len(xlabels) > 1 {
+			place(len(xlabels) - 1)
+		}
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 9), string(xline))
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%s %c %s\n", strings.Repeat(" ", 9), markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	out := Chart("demo", []string{"1", "2", "3"}, []Series{
+		{Name: "up", Values: []float64{1, 2, 3}},
+		{Name: "down", Values: []float64{3, 2, 1}},
+	}, 30, 8, false)
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series markers")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+// gridLines returns only the plot-area lines (between the title and the
+// x axis), excluding the legend, which also contains marker runes.
+func gridLines(out string) []string {
+	lines := strings.Split(out, "\n")
+	var area []string
+	for _, l := range lines[1:] {
+		if strings.Contains(l, "+--") {
+			break
+		}
+		area = append(area, l)
+	}
+	return area
+}
+
+func TestChartMonotoneSeriesOrientation(t *testing.T) {
+	// An increasing series must put its right-hand marker on a higher
+	// row (smaller index) than its left-hand one.
+	out := Chart("t", []string{"a", "b"}, []Series{
+		{Name: "s", Values: []float64{1, 100}},
+	}, 20, 10, false)
+	leftRow, rightRow := -1, -1
+	leftCol, rightCol := 1<<30, -1
+	for r, line := range gridLines(out) {
+		for c, ch := range line {
+			if ch != '*' {
+				continue
+			}
+			if c < leftCol {
+				leftCol, leftRow = c, r
+			}
+			if c > rightCol {
+				rightCol, rightRow = c, r
+			}
+		}
+	}
+	if leftRow < 0 || rightRow < 0 {
+		t.Fatal("markers not found")
+	}
+	if rightRow >= leftRow {
+		t.Errorf("increasing series not rising: left row %d, right row %d", leftRow, rightRow)
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	out := Chart("log", []string{"1", "2", "3"}, []Series{
+		{Name: "s", Values: []float64{1e-8, 1e-4, 1}},
+	}, 30, 9, true)
+	if !strings.Contains(out, "1e-08") && !strings.Contains(out, "1e-08") {
+		// The low label should show the minimum.
+		if !strings.Contains(out, "1e-08") {
+			t.Logf("chart:\n%s", out)
+		}
+	}
+	// In log scale the three points must land on distinct rows spread
+	// across the chart, not bunched at the bottom.
+	rows := map[int]bool{}
+	for r, line := range gridLines(out) {
+		if strings.ContainsRune(line, '*') {
+			rows[r] = true
+		}
+	}
+	if len(rows) != 3 {
+		t.Errorf("log scale put %d distinct rows, want 3\n%s", len(rows), out)
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	if out := Chart("none", nil, nil, 20, 5, false); !strings.Contains(out, "no data") {
+		t.Error("empty chart should say so")
+	}
+	out := Chart("flat", []string{"x"}, []Series{{Name: "s", Values: []float64{5, 5}}}, 20, 5, false)
+	if !strings.Contains(out, "*") {
+		t.Error("flat series should still render")
+	}
+	out = Chart("nan", []string{"x"}, []Series{{Name: "s", Values: []float64{math.NaN(), 1}}}, 20, 5, false)
+	if !strings.Contains(out, "*") {
+		t.Error("NaN values should be skipped, not fatal")
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	out := Chart("tiny", []string{"a"}, []Series{{Name: "s", Values: []float64{1, 2}}}, 1, 1, false)
+	if len(out) == 0 {
+		t.Error("tiny chart empty")
+	}
+}
