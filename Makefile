@@ -1,0 +1,28 @@
+# Convenience targets; the repo needs only the Go toolchain.
+
+.PHONY: build test verify trace-demo clean
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# verify is the tier-1 recipe from ROADMAP.md: full build + tests, vet,
+# and the race detector over the packages used from concurrent rank
+# goroutines (the observability layer and the exchange backends).
+verify:
+	go build ./...
+	go test ./...
+	go vet ./...
+	go test -race ./internal/obs/... ./internal/exchange/...
+
+# trace-demo runs a small compressed strong-scaling cell and writes a
+# Chrome-trace JSON (open in chrome://tracing or ui.perfetto.dev) plus
+# the phase-breakdown/metrics report.
+trace-demo:
+	go run ./cmd/fftbench -n 64 -sim 64 -gpus 24 -configs fp64-32,fp64-16 \
+		-iters 1 -trace trace-demo.json -metrics
+
+clean:
+	rm -f trace-demo.json

@@ -5,6 +5,10 @@
 // Usage:
 //
 //	go run ./cmd/alltoallbench [-msg 81920] [-iters 2] [-gpus 6,12,...] [-algos linear,osc]
+//	                           [-trace out.json] [-metrics]
+//
+// The osc-comp algorithm runs the compressed one-sided exchange on real
+// payloads; its achieved compression ratio is printed after the table.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 
 	"repro/internal/exchange"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/plot"
 )
 
@@ -23,8 +28,10 @@ func main() {
 	msg := flag.Int("msg", 80*1024, "message size per process pair in bytes")
 	iters := flag.Int("iters", 2, "measured iterations per point")
 	gpusFlag := flag.String("gpus", "6,12,24,48,96,192,384,768,1536", "comma-separated GPU counts (multiples of 6)")
-	algosFlag := flag.String("algos", "linear,osc", "algorithms: linear,pairwise,bruck,osc,osc-naive")
+	algosFlag := flag.String("algos", "linear,osc", "algorithms: linear,pairwise,bruck,osc,osc-naive,osc-comp")
 	doPlot := flag.Bool("plot", false, "render the figure as an ASCII chart")
+	traceFlag := flag.String("trace", "", "write a Chrome-trace JSON of the last measured cell to this file")
+	metricsFlag := flag.Bool("metrics", false, "print the metrics report of the last measured cell")
 	flag.Parse()
 
 	gpus, err := parseInts(*gpusFlag)
@@ -45,6 +52,11 @@ func main() {
 	for i, a := range algos {
 		series[i].Name = a
 	}
+	// recorders keeps the last measured cell's recorder per algorithm so
+	// achieved compression can be reported after the table.
+	recorders := make([]*obs.Recorder, len(algos))
+	var lastRec *obs.Recorder
+	var lastCell string
 	for _, g := range gpus {
 		if g%6 != 0 {
 			fmt.Fprintf(os.Stderr, "alltoallbench: skipping %d GPUs (not a multiple of 6)\n", g)
@@ -53,11 +65,48 @@ func main() {
 		fmt.Printf("%8d", g)
 		labels = append(labels, fmt.Sprint(g))
 		for i, a := range algos {
-			bw := exchange.NodeBandwidth(netsim.Summit(g/6), a, *msg, *iters)
+			rec := obs.New(obs.Options{Trace: *traceFlag != "", Metrics: true})
+			bw := exchange.NodeBandwidthWith(rec, netsim.Summit(g/6), a, *msg, *iters)
+			recorders[i] = rec
+			lastRec = rec
+			lastCell = fmt.Sprintf("%s @ %d GPUs", a, g)
 			fmt.Printf("%14.2f", bw/1e9)
 			series[i].Values = append(series[i].Values, bw/1e9)
 		}
 		fmt.Println()
+	}
+	// Achieved (not nominal) compression of the compressed algorithms.
+	for i, a := range algos {
+		stats := recorders[i].Metrics().CompressionStats()
+		if len(stats) == 0 {
+			continue
+		}
+		fmt.Printf("# %s achieved compression:", a)
+		for _, s := range stats {
+			fmt.Printf(" %s %.2fx (error bound %.2e)", s.Label, s.Ratio(), s.ErrorBound)
+		}
+		fmt.Println()
+	}
+	if *metricsFlag && lastRec != nil {
+		fmt.Printf("\n# metrics report — %s\n", lastCell)
+		lastRec.WriteReport(os.Stdout)
+	}
+	if *traceFlag != "" && lastRec != nil {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alltoallbench:", err)
+			os.Exit(1)
+		}
+		if err := lastRec.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alltoallbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# trace written: %s (%s)\n", *traceFlag, lastCell)
 	}
 	if *doPlot {
 		fmt.Println()

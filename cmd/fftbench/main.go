@@ -13,6 +13,12 @@
 // Usage:
 //
 //	go run ./cmd/fftbench [-n 128] [-gpus 12,24,...] [-iters 1] [-configs fp64,fp32,fp64-32,fp64-16]
+//	                      [-trace out.json] [-metrics]
+//
+// -trace writes a Chrome-trace JSON (chrome://tracing / Perfetto) of
+// the last measured cell; -metrics prints its phase-breakdown report.
+// Compressed configs always report their achieved (not just nominal)
+// compression ratio per reshape after the table.
 package main
 
 import (
@@ -25,50 +31,51 @@ import (
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/plot"
 )
 
 type config struct {
 	name string
-	run  func(cfg netsim.Config, n [3]int, iters, simScale int) core.Result
+	run  func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, simScale int) core.Result
 }
 
 func configByName(name string) (config, bool) {
 	switch name {
 	case "fp64":
-		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendAlltoallv, SimScale: ss}, iters, false)
+		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendAlltoallv, SimScale: ss}, iters, false)
 		}}, true
 	case "fp32":
-		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.Measure[complex64](cfg, n, core.Options{Backend: core.BackendAlltoallv, SimScale: ss}, iters, false)
+		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.MeasureWith[complex64](rec, cfg, n, core.Options{Backend: core.BackendAlltoallv, SimScale: ss}, iters, false)
 		}}, true
 	case "fp64-32":
-		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendCompressed, Method: compress.Cast32{}, SimScale: ss}, iters, false)
+		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendCompressed, Method: compress.Cast32{}, SimScale: ss}, iters, false)
 		}}, true
 	case "fp64-16":
-		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendCompressed, Method: compress.Cast16{}, SimScale: ss}, iters, false)
+		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendCompressed, Method: compress.Cast16{}, SimScale: ss}, iters, false)
 		}}, true
 	case "fp64-bf16":
-		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendCompressed, Method: compress.CastBF16{}, SimScale: ss}, iters, false)
+		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendCompressed, Method: compress.CastBF16{}, SimScale: ss}, iters, false)
 		}}, true
 	case "fp64-32-2s":
 		// Compression over the two-sided transport (ablation).
-		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendCompressedTwoSided, Method: compress.Cast32{}, SimScale: ss}, iters, false)
+		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendCompressedTwoSided, Method: compress.Cast32{}, SimScale: ss}, iters, false)
 		}}, true
 	case "osc":
 		// Uncompressed one-sided exchange (isolates the OSC gain).
-		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendOSC, SimScale: ss}, iters, false)
+		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendOSC, SimScale: ss}, iters, false)
 		}}, true
 	case "fp64-pencil":
 		// Reduced-reshape configuration (pencil-shaped input/output).
-		return config{name, func(cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendAlltoallv, SimScale: ss, PencilIO: true}, iters, false)
+		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
+			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendAlltoallv, SimScale: ss, PencilIO: true}, iters, false)
 		}}, true
 	}
 	return config{}, false
@@ -81,6 +88,8 @@ func main() {
 	iters := flag.Int("iters", 1, "measured iterations per point")
 	configsFlag := flag.String("configs", "fp64,fp32,fp64-32,fp64-16", "configurations")
 	doPlot := flag.Bool("plot", false, "render the figure as an ASCII chart")
+	traceFlag := flag.String("trace", "", "write a Chrome-trace JSON of the last measured cell to this file")
+	metricsFlag := flag.Bool("metrics", false, "print the phase-breakdown/metrics report of the last measured cell")
 	flag.Parse()
 
 	n := [3]int{*nFlag, *nFlag, *nFlag}
@@ -114,6 +123,11 @@ func main() {
 		series[i].Name = c.name
 	}
 	var labels []string
+	// One recorder per (config, GPU-count) cell; recorders keeps the last
+	// measured row's recorder per config for the post-table summaries.
+	recorders := make([]*obs.Recorder, len(configs))
+	var lastRec *obs.Recorder
+	var lastCell string
 	for _, gs := range strings.Split(*gpusFlag, ",") {
 		g, err := strconv.Atoi(strings.TrimSpace(gs))
 		if err != nil || g%6 != 0 {
@@ -123,7 +137,11 @@ func main() {
 		machine := netsim.Summit(g / 6)
 		gflops := make([]float64, len(configs))
 		for i, c := range configs {
-			gflops[i] = c.run(machine, n, *iters, simScale).Gflops
+			rec := obs.New(obs.Options{Trace: *traceFlag != "", Metrics: true})
+			gflops[i] = c.run(rec, machine, n, *iters, simScale).Gflops
+			recorders[i] = rec
+			lastRec = rec
+			lastCell = fmt.Sprintf("%s @ %d GPUs", c.name, g)
 		}
 		fmt.Printf("%8d", g)
 		labels = append(labels, fmt.Sprint(g))
@@ -136,6 +154,41 @@ func main() {
 			fmt.Printf("%12.2f", gf/base)
 		}
 		fmt.Println()
+	}
+	// Achieved (not nominal) compression per reshape, from the metrics of
+	// each config's last measured row.
+	for i, c := range configs {
+		stats := recorders[i].Metrics().CompressionStats()
+		if len(stats) == 0 {
+			continue
+		}
+		fmt.Printf("# %s achieved compression:", c.name)
+		for _, s := range stats {
+			fmt.Printf(" %s %.2fx", s.Label, s.Ratio())
+		}
+		fmt.Println()
+	}
+
+	if *metricsFlag && lastRec != nil {
+		fmt.Printf("\n# metrics report — %s\n", lastCell)
+		lastRec.WriteReport(os.Stdout)
+	}
+	if *traceFlag != "" && lastRec != nil {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftbench:", err)
+			os.Exit(1)
+		}
+		if err := lastRec.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# trace written: %s (%s) — open in chrome://tracing or ui.perfetto.dev\n", *traceFlag, lastCell)
 	}
 	if *doPlot {
 		fmt.Println()

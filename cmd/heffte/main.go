@@ -20,6 +20,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 func parseMethod(s string) (compress.Method, error) {
@@ -61,6 +62,8 @@ func main() {
 	simFlag := flag.Int("sim", 0, "simulated problem size per dimension (0 = same as -n)")
 	iters := flag.Int("iters", 2, "measured iterations")
 	fp32 := flag.Bool("fp32", false, "run the full FP32 pipeline instead of FP64")
+	traceFlag := flag.String("trace", "", "write a Chrome-trace JSON of the run to this file")
+	metricsFlag := flag.Bool("metrics", false, "print the phase-breakdown/metrics report")
 	flag.Parse()
 
 	if *gpus%6 != 0 {
@@ -101,15 +104,16 @@ func main() {
 	}
 
 	cfg := netsim.Summit(*gpus / 6)
+	rec := obs.New(obs.Options{Trace: *traceFlag != "", Metrics: true})
 	var r core.Result
 	if *fp32 {
 		if opts.Backend == core.BackendCompressed {
 			fmt.Fprintln(os.Stderr, "heffte: the compressed backend requires the FP64 pipeline")
 			os.Exit(1)
 		}
-		r = core.Measure[complex64](cfg, n, opts, *iters, true)
+		r = core.MeasureWith[complex64](rec, cfg, n, opts, *iters, true)
 	} else {
-		r = core.Measure[complex128](cfg, n, opts, *iters, true)
+		r = core.MeasureWith[complex128](rec, cfg, n, opts, *iters, true)
 	}
 
 	simN := *nFlag
@@ -124,17 +128,55 @@ func main() {
 		if m == nil {
 			m = compress.FromTolerance(opts.Tolerance)
 		}
-		fmt.Printf("compression    : %s (rate %.2fx)\n", m.Name(), m.Ratio())
+		fmt.Printf("compression    : %s (nominal rate %.2fx)\n", m.Name(), m.Ratio())
+		// The achieved rate comes from the run's metrics: raw vs wire
+		// bytes per labelled reshape (fwd0..3 in ring order).
+		if stats := rec.Metrics().CompressionStats(); len(stats) > 0 {
+			var raw, wire int64
+			fmt.Printf("achieved rate  :")
+			for _, s := range stats {
+				fmt.Printf(" %s %.2fx", s.Label, s.Ratio())
+				raw += s.RawBytes
+				wire += s.WireBytes
+			}
+			if wire > 0 {
+				fmt.Printf(" | overall %.2fx", float64(raw)/float64(wire))
+			}
+			fmt.Println()
+		}
 	}
 	fmt.Printf("forward time   : %.3f ms\n", r.ForwardTime*1e3)
 	fmt.Printf("performance    : %.1f Gflop/s\n", r.Gflops)
 	fmt.Printf("relative error : %.3e\n", r.RelErr)
 	fmt.Printf("traffic        : %d msgs, %.1f MB inter-node, %.1f MB intra-node\n",
 		r.Stats.Messages, float64(r.Stats.BytesInter)/1e6, float64(r.Stats.BytesIntra)/1e6)
+	fmt.Printf("one-sided      : %d puts (%.1f MB), %d fences, %d flushes\n",
+		r.Stats.Puts, float64(r.Stats.BytesPut)/1e6, r.Stats.Fences, r.Stats.Flushes)
 	pr := r.Profile
 	if pr.Total() > 0 {
 		fmt.Printf("phase breakdown: exchange %.0f%%, fft %.0f%%, pack %.0f%%, unpack %.0f%%\n",
 			100*pr.Exchange/pr.Total(), 100*pr.FFT/pr.Total(),
 			100*pr.Pack/pr.Total(), 100*pr.Unpack/pr.Total())
+	}
+	if *metricsFlag {
+		fmt.Println()
+		rec.WriteReport(os.Stdout)
+	}
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "heffte:", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "heffte:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written  : %s (chrome://tracing / ui.perfetto.dev)\n", *traceFlag)
 	}
 }

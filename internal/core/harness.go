@@ -6,6 +6,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Result summarizes one measured configuration — a row of the paper's
@@ -29,13 +30,21 @@ type Result struct {
 // transforms on the deterministic random field, and (when wantErr) one
 // forward+inverse round trip for the accuracy metric.
 func Measure[C fft.Complex](cfg netsim.Config, n [3]int, opts Options, iters int, wantErr bool) Result {
+	return MeasureWith[C](nil, cfg, n, opts, iters, wantErr)
+}
+
+// MeasureWith is Measure with an observability recorder attached to the
+// run: phase spans, wire events, and compression metrics land in rec.
+// Recording only consumes wall-clock time, never virtual time, so the
+// measured results are identical with rec nil or non-nil.
+func MeasureWith[C fft.Complex](rec *obs.Recorder, cfg netsim.Config, n [3]int, opts Options, iters int, wantErr bool) Result {
 	res := Result{GPUs: cfg.Ranks()}
 	s := opts.SimScale
 	if s == 0 {
 		s = 1
 	}
 	flops := fft.FlopCount(s * n[0] * s * n[1] * s * n[2])
-	sim := mpi.Run(cfg, func(c *mpi.Comm) {
+	sim := mpi.RunWith(cfg, rec, func(c *mpi.Comm) {
 		pl := NewPlan[C](c, n, opts)
 		in := make([]C, pl.InBox().Count())
 		FillBox(in, pl.InBox(), pl.InOrder(), 1)

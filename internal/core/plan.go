@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"math"
+	"strconv"
 
 	"repro/internal/compress"
 	"repro/internal/exchange"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // Plan is a distributed 3-D FFT plan over all ranks of a communicator.
@@ -85,6 +87,7 @@ func NewPlan[C fft.Complex](c *mpi.Comm, n [3]int, opts Options) *Plan[C] {
 		}
 	}
 	pl.stream = gpu.NewStream(opts.Device, c)
+	pl.stream.SetObserver(c.Obs())
 
 	pl.boxes[0] = grid.Bricks(n, grid.Factor3(p))
 	pl.boxes[1] = grid.Pencils(n, 0, p)
@@ -102,16 +105,16 @@ func NewPlan[C fft.Complex](c *mpi.Comm, n [3]int, opts Options) *Plan[C] {
 	if opts.PencilIO {
 		// Reduced-reshape configuration: x-pencil input, z-pencil
 		// output, so only the x→y and y→z redistributions remain.
-		pl.fwd[0] = newReshape[C](pl, 1, 2)
-		pl.fwd[1] = newReshape[C](pl, 2, 3)
-		pl.bwd[0] = newReshape[C](pl, 3, 2)
-		pl.bwd[1] = newReshape[C](pl, 2, 1)
+		pl.fwd[0] = newReshape[C](pl, 1, 2, "fwd0")
+		pl.fwd[1] = newReshape[C](pl, 2, 3, "fwd1")
+		pl.bwd[0] = newReshape[C](pl, 3, 2, "bwd0")
+		pl.bwd[1] = newReshape[C](pl, 2, 1, "bwd1")
 	} else {
 		for s := 0; s < 4; s++ {
-			pl.fwd[s] = newReshape[C](pl, s, s+1)
+			pl.fwd[s] = newReshape[C](pl, s, s+1, "fwd"+strconv.Itoa(s))
 		}
 		for s := 0; s < 4; s++ {
-			pl.bwd[s] = newReshape[C](pl, 4-s, 3-s)
+			pl.bwd[s] = newReshape[C](pl, 4-s, 3-s, "bwd"+strconv.Itoa(s))
 		}
 	}
 	me := c.Rank()
@@ -203,14 +206,17 @@ func (pl *Plan[C]) Backward(in []C) []C {
 	scale := 1 / float64(pl.n[0]*pl.n[1]*pl.n[2])
 	s := complexAs[C](scale)
 	simCount := pl.simBoxes[pl.inStage()][pl.c.Rank()].Count()
+	rk := pl.c.Obs()
 	t0 := pl.c.Now()
-	pl.stream.Launch(pl.opts.Device.CopyCost(simCount*pl.elemSize()), func() {
+	rk.Begin(obs.TrackHost, obs.PhaseScale, t0)
+	pl.stream.LaunchTagged(obs.PhaseScale, pl.opts.Device.CopyCost(simCount*pl.elemSize()), func() {
 		for i := range out {
 			out[i] *= s
 		}
 	})
 	pl.stream.Synchronize()
 	pl.profile.Scale += pl.c.Now() - t0
+	rk.End(pl.c.Now(), 0)
 	return out
 }
 
@@ -269,12 +275,15 @@ func (pl *Plan[C]) fftStage(data []C, axis, sign int) {
 	simLen := s * pl.n[axis]
 	simBatch := pl.simBoxes[axis+1][pl.c.Rank()].Count() / simLen
 	cost := pl.opts.Device.FFTCost(simLen, simBatch, pl.precBits)
+	rk := pl.c.Obs()
 	t0 := pl.c.Now()
-	pl.stream.Launch(cost, func() {
+	rk.Begin(obs.TrackHost, obs.PhaseFFT, t0)
+	pl.stream.LaunchTagged(obs.PhaseFFT, cost, func() {
 		pl.fftPlans[axis].Batch(data, pl.batch[axis], sign)
 	})
 	pl.stream.Synchronize()
 	pl.profile.FFT += pl.c.Now() - t0
+	rk.End(pl.c.Now(), 0)
 }
 
 func (pl *Plan[C]) elemSize() int {
@@ -297,6 +306,9 @@ type reshape[C fft.Complex] struct {
 	simSendTotal, simRecvTotal int
 	// simLogical gives per-destination logical wire bytes.
 	simLogical []int
+	// logicalTotal is the sum of simLogical — the uncompressed bytes this
+	// rank contributes to the wire, attributed to the exchange span.
+	logicalTotal int64
 
 	// Byte backends.
 	sendBytes   [][]byte
@@ -311,7 +323,7 @@ type reshape[C fft.Complex] struct {
 	outBuf  []C
 }
 
-func newReshape[C fft.Complex](pl *Plan[C], fromStage, toStage int) *reshape[C] {
+func newReshape[C fft.Complex](pl *Plan[C], fromStage, toStage int, label string) *reshape[C] {
 	from, to := pl.boxes[fromStage], pl.boxes[toStage]
 	simFrom, simTo := pl.simBoxes[fromStage], pl.simBoxes[toStage]
 	fromOrder, toOrder := pl.orders[fromStage], pl.orders[toStage]
@@ -333,6 +345,7 @@ func newReshape[C fft.Complex](pl *Plan[C], fromStage, toStage int) *reshape[C] 
 	r.simLogical = make([]int, p)
 	for _, t := range simPlan.Send {
 		r.simLogical[t.Rank] = elem * t.Count
+		r.logicalTotal += int64(elem * t.Count)
 	}
 
 	maxPack := 0
@@ -377,6 +390,7 @@ func newReshape[C fft.Complex](pl *Plan[C], fromStage, toStage int) *reshape[C] 
 		}
 		r.cosc = exchange.NewCompressedOSC(pl.c, pl.opts.Method, pl.stream, chunks,
 			func(dst, src int) int { return 2 * overlap(dst, src) })
+		r.cosc.SetLabel(label)
 		r.cosc.Pipelined = !pl.opts.DisablePipeline
 		if pl.opts.SimScale > 1 {
 			r.cosc.SimCounts = func(dst, src int) int { return 2 * simOverlap(dst, src) }
@@ -385,6 +399,7 @@ func newReshape[C fft.Complex](pl *Plan[C], fromStage, toStage int) *reshape[C] 
 		r.sendVals = make([][]float64, p)
 		r.c2s = exchange.NewTwoSidedCompressed(pl.c, pl.opts.Method, pl.stream,
 			func(dst, src int) int { return 2 * overlap(dst, src) })
+		r.c2s.SetLabel(label)
 		if pl.opts.SimScale > 1 {
 			r.c2s.SimCounts = func(dst, src int) int { return 2 * simOverlap(dst, src) }
 		}
@@ -399,7 +414,9 @@ func (r *reshape[C]) execute(local []C) []C {
 	pl := r.pl
 	dev := pl.opts.Device
 	me := pl.c.Rank()
+	rk := pl.c.Obs()
 	tPack := pl.c.Now()
+	rk.Begin(obs.TrackHost, obs.PhasePack, tPack)
 
 	// Pack every destination's overlap, reordered to the target layout.
 	switch pl.opts.Backend {
@@ -407,7 +424,7 @@ func (r *reshape[C]) execute(local []C) []C {
 		for i := range r.sendVals {
 			r.sendVals[i] = nil
 		}
-		pl.stream.Launch(dev.CopyCost(r.simSendTotal*pl.elemSize()), func() {
+		pl.stream.LaunchTagged(obs.PhasePack, dev.CopyCost(r.simSendTotal*pl.elemSize()), func() {
 			for _, t := range r.plan.Send {
 				buf := make([]float64, 2*t.Count)
 				grid.Pack(local, r.fromBox, r.fromOrder, t.Sub, r.toOrder, r.packBuf[:t.Count])
@@ -426,7 +443,7 @@ func (r *reshape[C]) execute(local []C) []C {
 		for i := range r.sendBytes {
 			r.sendBytes[i] = nil
 		}
-		pl.stream.Launch(dev.CopyCost(r.simSendTotal*pl.elemSize()), func() {
+		pl.stream.LaunchTagged(obs.PhasePack, dev.CopyCost(r.simSendTotal*pl.elemSize()), func() {
 			for _, t := range r.plan.Send {
 				grid.Pack(local, r.fromBox, r.fromOrder, t.Sub, r.toOrder, r.packBuf[:t.Count])
 				r.sendBytes[t.Rank] = complexToBytes(r.packBuf[:t.Count])
@@ -441,6 +458,8 @@ func (r *reshape[C]) execute(local []C) []C {
 	pl.stream.Synchronize()
 	tExchange := pl.c.Now()
 	pl.profile.Pack += tExchange - tPack
+	rk.End(tExchange, int64(r.simSendTotal*pl.elemSize()))
+	rk.Begin(obs.TrackHost, obs.PhaseExchange, tExchange)
 
 	// Exchange.
 	var recvBytes [][]byte
@@ -462,9 +481,11 @@ func (r *reshape[C]) execute(local []C) []C {
 
 	tUnpack := pl.c.Now()
 	pl.profile.Exchange += tUnpack - tExchange
+	rk.End(tUnpack, r.logicalTotal)
+	rk.Begin(obs.TrackHost, obs.PhaseUnpack, tUnpack)
 
 	// Unpack into the target layout.
-	pl.stream.Launch(dev.CopyCost(r.simRecvTotal*pl.elemSize()), func() {
+	pl.stream.LaunchTagged(obs.PhaseUnpack, dev.CopyCost(r.simRecvTotal*pl.elemSize()), func() {
 		for _, t := range r.plan.Recv {
 			switch pl.opts.Backend {
 			case BackendCompressed, BackendCompressedTwoSided:
@@ -477,6 +498,7 @@ func (r *reshape[C]) execute(local []C) []C {
 	})
 	pl.stream.Synchronize()
 	pl.profile.Unpack += pl.c.Now() - tUnpack
+	rk.End(pl.c.Now(), int64(r.simRecvTotal*pl.elemSize()))
 	_ = me
 	return r.outBuf
 }

@@ -5,6 +5,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // PlanR2C is the real-to-complex distributed 3-D FFT (heFFTe's
@@ -127,6 +128,7 @@ func NewPlanR2C[C fft.Complex](c *mpi.Comm, n [3]int, opts Options) *PlanR2C[C] 
 			chunks = opts.Chunks
 		}
 		pl.realCOSC = exchange.NewCompressedOSC(c, pl.inner.opts.Method, pl.inner.stream, chunks, overlap)
+		pl.realCOSC.SetLabel("r2c-real")
 		pl.realCOSC.Pipelined = !opts.DisablePipeline
 		if s > 1 {
 			pl.realCOSC.SimCounts = simOverlap
@@ -175,12 +177,15 @@ func (pl *PlanR2C[C]) Forward(in []float64) []C {
 	s := pl.opts.SimScale
 	simBatch := pl.xbatch * s * s
 	cost := inner.opts.Device.FFTCost(s*pl.n[0]/2, simBatch, inner.precBits)
+	rk := pl.c.Obs()
 	t0 := pl.c.Now()
-	inner.stream.Launch(cost, func() {
+	rk.Begin(obs.TrackHost, obs.PhaseFFT, t0)
+	inner.stream.LaunchTagged(obs.PhaseFFT, cost, func() {
 		pl.r2c.ForwardBatch(pl.pencil, pl.spec, pl.xbatch)
 	})
 	inner.stream.Synchronize()
 	inner.profile.FFT += pl.c.Now() - t0
+	rk.End(pl.c.Now(), 0)
 
 	// Remaining complex stages on the reduced grid (skip inner's axis-0
 	// FFT: the r2c stage replaced it).
@@ -206,8 +211,10 @@ func (pl *PlanR2C[C]) Backward(spec []C) []float64 {
 	s := pl.opts.SimScale
 	simBatch := pl.xbatch * s * s
 	cost := inner.opts.Device.FFTCost(s*pl.n[0]/2, simBatch, inner.precBits)
+	rk := pl.c.Obs()
 	t0 := pl.c.Now()
-	inner.stream.Launch(cost, func() {
+	rk.Begin(obs.TrackHost, obs.PhaseFFT, t0)
+	inner.stream.LaunchTagged(obs.PhaseFFT, cost, func() {
 		pl.r2c.InverseBatch(data, pl.pencil, pl.xbatch)
 		scale := 1 / float64(pl.n[1]*pl.n[2])
 		for i := range pl.pencil {
@@ -216,6 +223,7 @@ func (pl *PlanR2C[C]) Backward(spec []C) []float64 {
 	})
 	inner.stream.Synchronize()
 	inner.profile.FFT += pl.c.Now() - t0
+	rk.End(pl.c.Now(), 0)
 
 	pl.reshapeRealBack()
 	return pl.realOut
@@ -247,14 +255,16 @@ func (pl *PlanR2C[C]) runRealReshape(src, dst []float64, plan grid.Plan, from, t
 	elem := pl.realElem()
 	srcBox, dstBox := from[me], to[me]
 
+	rk := pl.c.Obs()
 	tPack := pl.c.Now()
+	rk.Begin(obs.TrackHost, obs.PhasePack, tPack)
 	// Every backend ships real bytes except the compressed one-sided
 	// exchange's forward direction, which consumes float64 payloads.
 	useBytes := pl.opts.Backend != BackendCompressed || backward
 	packCost := dev.CopyCost(pl.simSend * elem)
 	sendBytes := make([][]byte, pl.c.Size())
 	sendVals := make([][]float64, pl.c.Size())
-	inner.stream.Launch(packCost, func() {
+	inner.stream.LaunchTagged(obs.PhasePack, packCost, func() {
 		for _, t := range plan.Send {
 			buf := pl.packBuf[:t.Count]
 			grid.Pack(src, srcBox, grid.Natural, t.Sub, grid.Natural, buf)
@@ -276,6 +286,8 @@ func (pl *PlanR2C[C]) runRealReshape(src, dst []float64, plan grid.Plan, from, t
 	inner.stream.Synchronize()
 	tEx := pl.c.Now()
 	inner.profile.Pack += tEx - tPack
+	rk.End(tEx, int64(pl.simSend*elem))
+	rk.Begin(obs.TrackHost, obs.PhaseExchange, tEx)
 
 	recvNonzero := make([]bool, pl.c.Size())
 	for _, t := range plan.Recv {
@@ -301,8 +313,10 @@ func (pl *PlanR2C[C]) runRealReshape(src, dst []float64, plan grid.Plan, from, t
 	}
 	tUn := pl.c.Now()
 	inner.profile.Exchange += tUn - tEx
+	rk.End(tUn, int64(pl.simSend*elem))
+	rk.Begin(obs.TrackHost, obs.PhaseUnpack, tUn)
 
-	inner.stream.Launch(dev.CopyCost(pl.simRecv*elem), func() {
+	inner.stream.LaunchTagged(obs.PhaseUnpack, dev.CopyCost(pl.simRecv*elem), func() {
 		for _, t := range plan.Recv {
 			var vals []float64
 			if recvVals != nil {
@@ -315,6 +329,7 @@ func (pl *PlanR2C[C]) runRealReshape(src, dst []float64, plan grid.Plan, from, t
 	})
 	inner.stream.Synchronize()
 	inner.profile.Unpack += pl.c.Now() - tUn
+	rk.End(pl.c.Now(), int64(pl.simRecv*elem))
 }
 
 // realToBytes serializes reals at the pipeline's wire precision.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Algorithms available to the bandwidth harness.
@@ -16,6 +17,10 @@ const (
 	AlgoBruck    = "bruck" // log-round aggregated algorithm (small messages)
 	AlgoOSC      = "osc"
 	AlgoOSCNaive = "osc-naive" // ring without the node-aware permutation
+	// AlgoOSCComp is the compressed one-sided exchange on real payloads
+	// (FP64→FP32 cast); its bandwidth is computed over the logical bytes,
+	// so the speedup over plain osc shows the compression win.
+	AlgoOSCComp = "osc-comp"
 )
 
 // NodeBandwidth runs a uniform all-to-all (msgBytes per pair, phantom
@@ -24,19 +29,37 @@ const (
 // the exchange time and the node count. Setup (window creation, warmup
 // iteration) is excluded from the measured window.
 func NodeBandwidth(cfg netsim.Config, algo string, msgBytes, iters int) float64 {
+	return NodeBandwidthWith(nil, cfg, algo, msgBytes, iters)
+}
+
+// NodeBandwidthWith is NodeBandwidth with an observability recorder
+// attached to the run (nil behaves exactly like NodeBandwidth).
+func NodeBandwidthWith(rec *obs.Recorder, cfg netsim.Config, algo string, msgBytes, iters int) float64 {
 	p := cfg.Ranks()
 	var start, end float64
-	mpi.Run(cfg, func(c *mpi.Comm) {
+	mpi.RunWith(cfg, rec, func(c *mpi.Comm) {
 		sizes := make([]int, p)
 		for i := range sizes {
 			sizes[i] = msgBytes
 		}
 		var osc *OSC
+		var cosc *CompressedOSC
+		var send [][]float64
 		switch algo {
 		case AlgoOSC:
 			osc = NewOSCPhantom(c, Uniform(msgBytes), true)
 		case AlgoOSCNaive:
 			osc = NewOSCPhantom(c, Uniform(msgBytes), false)
+		case AlgoOSCComp:
+			count := msgBytes / 8
+			if count < 1 {
+				count = 1
+			}
+			stream := gpu.NewStream(gpu.V100(), c)
+			stream.SetObserver(c.Obs())
+			cosc = NewCompressedOSC(c, compress.Cast32{}, stream, 4, UniformCount(count))
+			cosc.SetLabel("bench")
+			send = benchPayload(c.Rank(), p, count)
 		}
 		run := func() {
 			switch algo {
@@ -48,6 +71,8 @@ func NodeBandwidth(cfg netsim.Config, algo string, msgBytes, iters int) float64 
 				BruckAlltoallN(c, msgBytes)
 			case AlgoOSC, AlgoOSCNaive:
 				osc.ExchangeN()
+			case AlgoOSCComp:
+				cosc.Exchange(send)
 			default:
 				panic(fmt.Sprintf("exchange: unknown algorithm %q", algo))
 			}
@@ -68,6 +93,19 @@ func NodeBandwidth(cfg netsim.Config, algo string, msgBytes, iters int) float64 
 	return total / (end - start) / float64(cfg.Nodes)
 }
 
+// benchPayload builds deterministic pseudo-data in (-1, 1) for every
+// destination rank.
+func benchPayload(rank, p, count int) [][]float64 {
+	send := make([][]float64, p)
+	for d := range send {
+		send[d] = make([]float64, count)
+		for i := range send[d] {
+			send[d][i] = float64((rank*31+d*17+i*13)%2000-1000) / 1000
+		}
+	}
+	return send
+}
+
 // CompressedExchangeTime measures one compressed OSC exchange of count
 // float64 values per pair on real random-like data and returns the
 // exchange time (excluding construction and warmup).
@@ -77,14 +115,7 @@ func CompressedExchangeTime(cfg netsim.Config, method compress.Method, chunks, c
 	mpi.Run(cfg, func(c *mpi.Comm) {
 		x := NewCompressedOSC(c, method, gpu.NewStream(gpu.V100(), c), chunks, UniformCount(count))
 		x.Pipelined = pipelined
-		send := make([][]float64, p)
-		for d := range send {
-			send[d] = make([]float64, count)
-			for i := range send[d] {
-				// Deterministic pseudo-data; values in (-1, 1).
-				send[d][i] = float64((c.Rank()*31+d*17+i*13)%2000-1000) / 1000
-			}
-		}
+		send := benchPayload(c.Rank(), p, count)
 		x.Exchange(send) // warmup
 		c.Barrier()
 		t0 := c.AllreduceFloat64("min", c.Now())

@@ -6,6 +6,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/gpu"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // CountFn gives the number of float64 values rank dst receives from rank
@@ -44,6 +45,9 @@ type CompressedOSC struct {
 	// timing (kernel costs and wire bytes) in place of the real counts —
 	// the scaled-volume experiment mode (see DESIGN.md).
 	SimCounts CountFn
+
+	// Precomputed metric names of this exchange's label (SetLabel).
+	metricRaw, metricWire, metricErr, metricOverlap string
 
 	recvCounts []int
 	slotOff    []int // window offset of each source's slot
@@ -102,7 +106,7 @@ func NewCompressedOSC(c *mpi.Comm, method compress.Method, stream *gpu.Stream, c
 	for s := 0; s < p; s++ {
 		out[s] = make([]float64, recvCounts[s])
 	}
-	return &CompressedOSC{
+	x := &CompressedOSC{
 		c:          c,
 		win:        c.WinCreate(make([]byte, winSize)),
 		method:     method,
@@ -120,6 +124,16 @@ func NewCompressedOSC(c *mpi.Comm, method compress.Method, stream *gpu.Stream, c
 		stage:      make([]byte, stageSize),
 		out:        out,
 	}
+	x.SetLabel("exchange")
+	return x
+}
+
+// SetLabel names this exchange in the metric registry: the achieved
+// compression is reported as compress/<label>/{raw,wire}_bytes plus the
+// error-bound gauge. The FFT plan labels its reshapes fwd0..3 / bwd0..3.
+func (x *CompressedOSC) SetLabel(label string) {
+	x.metricRaw, x.metricWire, x.metricErr = obs.CompressMetricNames(label)
+	x.metricOverlap = "exchange/" + label + "/overlap_efficiency"
 }
 
 // recvSizesBytes maps value counts to window slot sizes.
@@ -170,7 +184,9 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 	}
 	// Phase 1 (§V-B): submit one compression kernel per chunk, all up
 	// front, on the same stream.
+	rk := x.c.Obs()
 	done := make([]float64, len(x.groups))
+	kernelTime := 0.0
 	for g, group := range x.groups {
 		group := group
 		inBytes, outBytes := 0, 0
@@ -179,7 +195,9 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 			inBytes += 8 * cv
 			outBytes += x.method.MaxCompressedLen(cv)
 		}
-		done[g] = x.stream.Launch(dev.CompressCost(inBytes, outBytes), func() {
+		cost := dev.CompressCost(inBytes, outBytes)
+		kernelTime += cost
+		done[g] = x.stream.LaunchTagged(obs.PhaseCompress, cost, func() {
 			for _, dst := range group {
 				vals := send[dst]
 				if len(vals) == 0 {
@@ -194,11 +212,23 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 
 	// Phase 2: the host watches the progress counter; each completed
 	// chunk's destinations are put while later chunks still compress.
+	// The time the host spends blocked on compression kernels (rather
+	// than overlapping them with puts) is the pipeline's stall.
+	var rawBytes, wireBytes int64
+	stall := 0.0
 	if !x.Pipelined {
+		if st := x.stream.ReadyAt() - x.c.Now(); st > 0 {
+			rk.Span(obs.TrackHost, obs.PhaseCompressWait, x.c.Now(), x.c.Now()+st, 0)
+			stall += st
+		}
 		x.stream.Synchronize()
 	}
 	for g, group := range x.groups {
 		if x.Pipelined {
+			if st := done[g] - x.c.Now(); st > 0 {
+				rk.Span(obs.TrackHost, obs.PhaseCompressWait, x.c.Now(), done[g], 0)
+				stall += st
+			}
 			x.c.AdvanceTo(done[g])
 		}
 		for _, dst := range group {
@@ -213,8 +243,21 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 				// value count at the same compression rate.
 				logical = 4 + clen*simCounts(dst, me)/cv
 			}
+			rawBytes += 8 * int64(simCounts(dst, me))
+			wireBytes += int64(logical)
 			x.win.PutLogical(dst, x.sendOff[dst], slot[:4+clen], logical)
 		}
+	}
+	rk.Add(x.metricRaw, rawBytes)
+	rk.Add(x.metricWire, wireBytes)
+	rk.Set(x.metricErr, x.method.ErrorBound())
+	rk.Observe(metricOverlapStall, stall)
+	if kernelTime > 0 {
+		eff := 1 - stall/kernelTime
+		if eff < 0 {
+			eff = 0
+		}
+		rk.Set(x.metricOverlap, eff)
 	}
 
 	// Phase 3: close the epoch.
@@ -232,7 +275,7 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 		inBytes += x.method.MaxCompressedLen(sc)
 		outBytes += 8 * sc
 	}
-	x.stream.Launch(dev.CompressCost(inBytes, outBytes), func() {
+	x.stream.LaunchTagged(obs.PhaseDecompress, dev.CompressCost(inBytes, outBytes), func() {
 		for s, cnt := range x.recvCounts {
 			if cnt == 0 {
 				continue

@@ -17,6 +17,14 @@ const (
 	tagPairwise = 102
 )
 
+// Metric names of the exchange layer (constants so hot paths record
+// without allocating).
+const (
+	metricFlushStalls  = "exchange/flush_stalls"
+	metricFlushStallS  = "exchange/flush_stall_s"
+	metricOverlapStall = "exchange/overlap_stall_s"
+)
+
 // LinearAlltoallv is the default generalized all-to-all: every send is
 // posted up front, then every receive drained (Open MPI basic linear).
 // send[d] is the payload for rank d; the result is indexed by source.

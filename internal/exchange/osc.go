@@ -2,6 +2,7 @@ package exchange
 
 import (
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // SizeFn gives the logical bytes that rank dst receives from rank src in
@@ -123,7 +124,7 @@ func (o *OSC) Exchange(send [][]byte) [][]byte {
 			flushAt = done
 		}
 		if pending++; o.FlushEvery > 0 && pending >= o.FlushEvery {
-			o.c.AdvanceTo(flushAt) // wait the completion of the node step
+			o.flush(flushAt) // wait the completion of the node step
 			pending = 0
 		}
 	}
@@ -152,9 +153,23 @@ func (o *OSC) ExchangeN() {
 			flushAt = done
 		}
 		if pending++; o.FlushEvery > 0 && pending >= o.FlushEvery {
-			o.c.AdvanceTo(flushAt)
+			o.flush(flushAt)
 			pending = 0
 		}
 	}
 	o.win.Fence(o.expected)
+}
+
+// flush waits until the outstanding puts completed at their targets and
+// attributes the stall (if any) to the run's metrics and trace.
+func (o *OSC) flush(flushAt float64) {
+	o.c.CountFlush()
+	now := o.c.Now()
+	if stall := flushAt - now; stall > 0 {
+		rk := o.c.Obs()
+		rk.Span(obs.TrackHost, obs.PhaseFlush, now, flushAt, 0)
+		rk.Add(metricFlushStalls, 1)
+		rk.Observe(metricFlushStallS, stall)
+	}
+	o.c.AdvanceTo(flushAt)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/gpu"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // TwoSidedCompressed applies the same lossy compression as CompressedOSC
@@ -20,6 +21,9 @@ type TwoSidedCompressed struct {
 	counts CountFn
 	// SimCounts enables the scaled-volume mode (see CompressedOSC).
 	SimCounts CountFn
+
+	// Precomputed metric names of this exchange's label (SetLabel).
+	metricRaw, metricWire, metricErr string
 
 	recvCounts  []int
 	recvNonzero []bool
@@ -53,7 +57,14 @@ func NewTwoSidedCompressed(c *mpi.Comm, method compress.Method, stream *gpu.Stre
 			x.sendBufs[d] = []byte{}
 		}
 	}
+	x.SetLabel("exchange-2s")
 	return x
+}
+
+// SetLabel names this exchange in the metric registry (see
+// CompressedOSC.SetLabel).
+func (x *TwoSidedCompressed) SetLabel(label string) {
+	x.metricRaw, x.metricWire, x.metricErr = obs.CompressMetricNames(label)
 }
 
 // Exchange compresses send (counts(d, me) float64 values per rank d) on
@@ -78,7 +89,7 @@ func (x *TwoSidedCompressed) Exchange(send [][]float64) [][]float64 {
 		outBytes += x.method.MaxCompressedLen(cv)
 	}
 	payload := make([][]byte, p)
-	x.stream.Launch(dev.CompressCost(inBytes, outBytes), func() {
+	x.stream.LaunchTagged(obs.PhaseCompress, dev.CompressCost(inBytes, outBytes), func() {
 		for d := 0; d < p; d++ {
 			vals := send[d]
 			if want := x.counts(d, me); len(vals) != want {
@@ -107,6 +118,23 @@ func (x *TwoSidedCompressed) Exchange(send [][]float64) [][]float64 {
 			}
 		}
 	}
+	var rawBytes, wireBytes int64
+	for d := 0; d < p; d++ {
+		if x.counts(d, me) == 0 {
+			continue
+		}
+		rawBytes += 8 * int64(simCounts(d, me))
+		if logical != nil {
+			wireBytes += int64(logical[d])
+		} else {
+			wireBytes += int64(len(payload[d]))
+		}
+	}
+	rk := x.c.Obs()
+	rk.Add(x.metricRaw, rawBytes)
+	rk.Add(x.metricWire, wireBytes)
+	rk.Set(x.metricErr, x.method.ErrorBound())
+
 	recv := x.c.AlltoallvSparse(payload, x.recvNonzero, logical)
 
 	// Decompress the received slots in one kernel.
@@ -119,7 +147,7 @@ func (x *TwoSidedCompressed) Exchange(send [][]float64) [][]float64 {
 		inBytes += x.method.MaxCompressedLen(sc)
 		outBytes += 8 * sc
 	}
-	x.stream.Launch(dev.CompressCost(inBytes, outBytes), func() {
+	x.stream.LaunchTagged(obs.PhaseDecompress, dev.CompressCost(inBytes, outBytes), func() {
 		for s, cnt := range x.recvCounts {
 			if cnt == 0 {
 				continue

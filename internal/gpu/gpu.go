@@ -8,7 +8,11 @@
 // issuing the corresponding put.
 package gpu
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/obs"
+)
 
 // Clock is the slice of the simulator a device needs: the owning rank's
 // virtual clock. *mpi.Comm satisfies it.
@@ -98,12 +102,18 @@ type Stream struct {
 	dev     Device
 	clock   Clock
 	readyAt float64
+	obs     *obs.Rank
 }
 
 // NewStream creates a stream on the device driven by the given clock.
 func NewStream(dev Device, clock Clock) *Stream {
 	return &Stream{dev: dev, clock: clock}
 }
+
+// SetObserver attaches the rank's observability handle: every launched
+// kernel is then recorded as a span on the rank's GPU track. A nil
+// handle (the default) records nothing and costs nothing.
+func (s *Stream) SetObserver(rk *obs.Rank) { s.obs = rk }
 
 // Launch enqueues a kernel with the given device-time cost and executes
 // its work function immediately (safe under the cooperative scheduler:
@@ -112,6 +122,12 @@ func NewStream(dev Device, clock Clock) *Stream {
 // virtual completion time — the §V-B progress counter value the host can
 // wait on. The host clock pays the launch overhead.
 func (s *Stream) Launch(cost float64, work func()) (completion float64) {
+	return s.LaunchTagged(obs.PhaseKernel, cost, work)
+}
+
+// LaunchTagged is Launch with an explicit phase recorded for the
+// kernel's span on the GPU track (compress, pack, ...).
+func (s *Stream) LaunchTagged(ph obs.Phase, cost float64, work func()) (completion float64) {
 	s.clock.Elapse(s.dev.KernelLaunch)
 	start := s.clock.Now()
 	if s.readyAt > start {
@@ -121,6 +137,7 @@ func (s *Stream) Launch(cost float64, work func()) (completion float64) {
 	if work != nil {
 		work()
 	}
+	s.obs.Span(obs.TrackGPU, ph, start, s.readyAt, 0)
 	return s.readyAt
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Tag spaces: user tags live below tagUserLimit; internal protocol tags
@@ -34,6 +35,7 @@ const DefaultEagerThreshold = 8192
 // Comm is a communicator spanning all ranks of the simulated machine.
 type Comm struct {
 	p              *netsim.Proc
+	obs            *obs.Rank
 	eagerThreshold int
 	barrierEpoch   int
 	collEpoch      int
@@ -44,14 +46,39 @@ type Comm struct {
 // Run starts one rank body per simulated GPU and returns the netsim
 // result (virtual completion time, per-rank clocks, traffic stats).
 func Run(cfg netsim.Config, body func(*Comm)) netsim.Result {
+	return RunWith(cfg, nil, body)
+}
+
+// RunWith is Run with an observability recorder: each rank gets a
+// per-rank span/metric handle (reachable via Comm.Obs), and the wire
+// events of netsim's Tracer stream are recorded on the same timeline.
+// A nil recorder makes RunWith identical to Run, with zero overhead.
+func RunWith(cfg netsim.Config, rec *obs.Recorder, body func(*Comm)) netsim.Result {
+	if rec.Tracing() {
+		prev := cfg.Tracer
+		cfg.Tracer = func(ev netsim.TraceEvent) {
+			if prev != nil {
+				prev(ev)
+			}
+			rec.Wire(obs.WireEvent{
+				Src: ev.Src, Dst: ev.Dst, Tag: ev.Tag, Bytes: ev.Bytes,
+				Kind: ev.Kind, Injected: ev.Injected, End: ev.End, Arrival: ev.Arrival,
+			})
+		}
+	}
 	return netsim.Run(cfg, func(p *netsim.Proc) {
 		body(&Comm{
 			p:              p,
+			obs:            rec.Rank(p.Rank()),
 			eagerThreshold: DefaultEagerThreshold,
 			winCreateCost:  50e-6,
 		})
 	})
 }
+
+// Obs returns this rank's observability handle (nil, and safe to use,
+// when no recorder is attached).
+func (c *Comm) Obs() *obs.Rank { return c.obs }
 
 // Rank returns the calling rank.
 func (c *Comm) Rank() int { return c.p.Rank() }
@@ -76,6 +103,11 @@ func (c *Comm) Elapse(d float64) { c.p.Elapse(d) }
 
 // AdvanceTo raises the rank's clock to at least t.
 func (c *Comm) AdvanceTo(t float64) { c.p.AdvanceTo(t) }
+
+// CountFlush attributes one put-throttling flush wait to the run's
+// Stats (used by the one-sided exchange when it bounds outstanding
+// puts).
+func (c *Comm) CountFlush() { c.p.CountFlush() }
 
 // SetEagerThreshold overrides the eager/rendezvous switch point.
 func (c *Comm) SetEagerThreshold(bytes int) { c.eagerThreshold = bytes }

@@ -1,0 +1,90 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestOneSidedStats checks the engine-level accounting of the one-sided
+// protocol: put count and bytes, fences, and flushes in Result.Stats.
+func TestOneSidedStats(t *testing.T) {
+	p := 4
+	res := Run(cfgN(p), func(c *Comm) {
+		win := c.WinCreate(make([]byte, 8*p))
+		payload := make([]byte, 8)
+		for target := 0; target < p; target++ {
+			win.Put(target, 8*c.Rank(), payload)
+		}
+		expected := make([]int, p)
+		for i := range expected {
+			expected[i] = 1
+		}
+		win.Fence(expected)
+		c.CountFlush()
+	})
+	if want := p * p; res.Stats.Puts != want {
+		t.Errorf("puts = %d, want %d", res.Stats.Puts, want)
+	}
+	if want := int64(8 * p * p); res.Stats.BytesPut != want {
+		t.Errorf("put bytes = %d, want %d", res.Stats.BytesPut, want)
+	}
+	if want := p; res.Stats.Fences != want {
+		t.Errorf("fences = %d, want %d", res.Stats.Fences, want)
+	}
+	if want := p; res.Stats.Flushes != want {
+		t.Errorf("flushes = %d, want %d", res.Stats.Flushes, want)
+	}
+}
+
+// TestRunWithRecords checks that RunWith threads wire events and window
+// metrics into the recorder without changing virtual time.
+func TestRunWithRecords(t *testing.T) {
+	p := 4
+	body := func(c *Comm) {
+		win := c.WinCreate(make([]byte, 8*p))
+		payload := make([]byte, 8)
+		for target := 0; target < p; target++ {
+			win.Put(target, 8*c.Rank(), payload)
+		}
+		expected := make([]int, p)
+		for i := range expected {
+			expected[i] = 1
+		}
+		win.Fence(expected)
+	}
+	plain := Run(cfgN(p), body)
+	rec := obs.New(obs.Options{Trace: true, Metrics: true})
+	traced := RunWith(cfgN(p), rec, body)
+	if plain.Time != traced.Time {
+		t.Errorf("recording changed virtual time: %v vs %v", plain.Time, traced.Time)
+	}
+	if len(rec.WireEvents()) == 0 {
+		t.Error("no wire events recorded")
+	}
+	m := rec.Metrics()
+	if got := m.Counter("mpi/puts"); got != int64(p*p) {
+		t.Errorf("mpi/puts = %d, want %d", got, p*p)
+	}
+	if got := m.Counter("mpi/put_bytes"); got != int64(8*p*p) {
+		t.Errorf("mpi/put_bytes = %d, want %d", got, 8*p*p)
+	}
+	if got := m.Counter("mpi/fences"); got != int64(p) {
+		t.Errorf("mpi/fences = %d, want %d", got, p)
+	}
+	if got := m.Counter("mpi/win_create"); got != int64(p) {
+		t.Errorf("mpi/win_create = %d, want %d", got, p)
+	}
+	// Each rank's fence wraps a host-track span.
+	found := false
+	for _, id := range rec.RankIDs() {
+		for _, s := range rec.RankSpans(id) {
+			if s.Phase == obs.PhaseFence && s.Track == obs.TrackHost {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no fence span recorded")
+	}
+}

@@ -1,6 +1,19 @@
 package mpi
 
-import "repro/internal/netsim"
+import (
+	"repro/internal/netsim"
+	"repro/internal/obs"
+)
+
+// Metric names of the one-sided runtime (constants so the hot paths
+// record without allocating).
+const (
+	metricPuts      = "mpi/puts"
+	metricPutBytes  = "mpi/put_bytes"
+	metricFences    = "mpi/fences"
+	metricWinCreate = "mpi/win_create"
+	metricWinReuse  = "mpi/win_reuse"
+)
 
 // Win is a one-sided communication window exposing a byte buffer to
 // remote Put operations, as used by the OSC all-to-all of §V. Creation
@@ -14,6 +27,9 @@ type Win struct {
 	// puts counts the put packets this rank has issued toward each
 	// target in the current epoch (diagnostics).
 	puts []int
+	// fenced counts completed epochs; every fence after the first is a
+	// window-cache hit (the reuse the §V-A caching optimization buys).
+	fenced int
 }
 
 // WinCreate collectively creates a window over buf. All ranks must call
@@ -24,6 +40,7 @@ func (c *Comm) WinCreate(buf []byte) *Win {
 	c.nextWinID++
 	c.Elapse(c.winCreateCost)
 	c.Barrier()
+	c.obs.Add(metricWinCreate, 1)
 	return &Win{c: c, id: id, buf: buf, tag: tagWinBase + id, puts: make([]int, c.Size())}
 }
 
@@ -46,6 +63,8 @@ func (w *Win) Put(target, offset int, data []byte) (completion float64) {
 // real bytes.
 func (w *Win) PutLogical(target, offset int, data []byte, logical int) (completion float64) {
 	w.puts[target]++
+	w.c.obs.Add(metricPuts, 1)
+	w.c.obs.Add(metricPutBytes, int64(logical))
 	return w.c.p.SendMsg(target, w.tag, netsim.SendOpts{
 		Payload: data, Bytes: logical, Meta: offset,
 		ProtoOverhead: w.c.Config().RMAOverhead, Unmatched: true,
@@ -55,6 +74,8 @@ func (w *Win) PutLogical(target, offset int, data []byte, logical int) (completi
 // PutN is the phantom variant of Put: n logical bytes, no payload.
 func (w *Win) PutN(target, offset, n int) (completion float64) {
 	w.puts[target]++
+	w.c.obs.Add(metricPuts, 1)
+	w.c.obs.Add(metricPutBytes, int64(n))
 	return w.c.p.SendMsg(target, w.tag, netsim.SendOpts{
 		Bytes: n, Meta: offset,
 		ProtoOverhead: w.c.Config().RMAOverhead, Unmatched: true,
@@ -68,7 +89,9 @@ func (w *Win) PutN(target, offset, n int) (completion float64) {
 // using the window — exactly what a real implementation derives from its
 // communication schedule.
 func (w *Win) Fence(expected []int) {
+	w.c.obs.Begin(obs.TrackHost, obs.PhaseFence, w.c.Now())
 	latest := w.c.Now()
+	var drained int64
 	if expected != nil {
 		for src, cnt := range expected {
 			for i := 0; i < cnt; i++ {
@@ -76,6 +99,7 @@ func (w *Win) Fence(expected []int) {
 				if pkt.Arrival > latest {
 					latest = pkt.Arrival
 				}
+				drained += int64(pkt.Bytes)
 				if pkt.Payload != nil {
 					copy(w.buf[pkt.Meta:], pkt.Payload)
 				}
@@ -87,6 +111,12 @@ func (w *Win) Fence(expected []int) {
 		w.puts[i] = 0
 	}
 	w.c.Barrier()
+	w.c.p.CountFence()
+	w.c.obs.Add(metricFences, 1)
+	if w.fenced++; w.fenced > 1 {
+		w.c.obs.Add(metricWinReuse, 1)
+	}
+	w.c.obs.End(w.c.Now(), drained)
 }
 
 // PutsIssued reports how many puts this rank issued toward target in the

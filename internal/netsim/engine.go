@@ -36,6 +36,16 @@ type Stats struct {
 	BytesIntra int64 // between ranks of one node
 	BytesInter int64 // across nodes
 	BytesLocal int64 // rank to itself
+
+	// One-sided attribution: puts are the unmatched transfers that
+	// bypass the receiver's matching engine, with their byte volume
+	// (also included in the Bytes* totals above); Fences and Flushes
+	// count epoch-close and put-throttling waits reported by the
+	// runtime layer via CountFence/CountFlush.
+	Puts     int
+	BytesPut int64
+	Fences   int
+	Flushes  int
 }
 
 // Result is returned by Run.
@@ -123,6 +133,14 @@ func (p *Proc) AdvanceTo(t float64) {
 		p.clock = t
 	}
 }
+
+// CountFence and CountFlush let the runtime layer attribute one-sided
+// synchronization events (window fences, put-throttling flushes) to the
+// run's Stats; they do not touch the clock.
+func (p *Proc) CountFence() { p.eng.stats.Fences++ }
+
+// CountFlush counts one put-throttling flush wait (see CountFence).
+func (p *Proc) CountFlush() { p.eng.stats.Flushes++ }
 
 // Send transfers a message of the given logical size toward dst, tagged
 // tag. payload may be nil for phantom transfers; it is handed to the
@@ -336,6 +354,10 @@ func (eng *Engine) deliver(p *Proc) {
 		kind = "inter"
 	}
 	eng.stats.Messages++
+	if req.unmatched {
+		eng.stats.Puts++
+		eng.stats.BytesPut += int64(req.bytes)
+	}
 	if cfg.Tracer != nil {
 		cfg.Tracer(TraceEvent{
 			Src: p.rank, Dst: req.dst, Tag: req.tag, Bytes: req.bytes,

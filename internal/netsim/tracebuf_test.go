@@ -1,0 +1,78 @@
+package netsim
+
+import "testing"
+
+func TestTraceBufferRing(t *testing.T) {
+	b := NewTraceBuffer(4)
+	rec := b.Recorder()
+	for i := 0; i < 10; i++ {
+		rec(TraceEvent{Tag: i})
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := 6 + i; ev.Tag != want {
+			t.Errorf("event %d tag = %d, want %d (oldest-first)", i, ev.Tag, want)
+		}
+	}
+	if b.Total() != 10 {
+		t.Errorf("total = %d, want 10", b.Total())
+	}
+	if b.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", b.Dropped())
+	}
+}
+
+func TestTraceBufferUnderCap(t *testing.T) {
+	b := NewTraceBuffer(8)
+	rec := b.Recorder()
+	for i := 0; i < 3; i++ {
+		rec(TraceEvent{Tag: i})
+	}
+	evs := b.Events()
+	if len(evs) != 3 || evs[0].Tag != 0 || evs[2].Tag != 2 {
+		t.Errorf("events = %+v", evs)
+	}
+	if b.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", b.Dropped())
+	}
+}
+
+func TestTraceBufferDefaultCap(t *testing.T) {
+	if b := NewTraceBuffer(0); b.cap != DefaultTraceCap {
+		t.Errorf("cap = %d, want %d", b.cap, DefaultTraceCap)
+	}
+}
+
+// TestTraceBufferAsTracer exercises the buffer as the engine callback.
+func TestTraceBufferAsTracer(t *testing.T) {
+	b := NewTraceBuffer(2)
+	cfg := Config{
+		Nodes: 2, GPUsPerNode: 1,
+		InterBW: 1e9, IntraBW: 2e9, LocalBW: 8e9,
+		InterLatency: 1e-6, IntraLatency: 0.5e-6,
+		Tracer: b.Recorder(),
+	}
+	Run(cfg, func(p *Proc) {
+		if p.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				p.Send(1, i, nil, 100)
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				p.Recv(0, i)
+			}
+		}
+	})
+	if b.Total() != 5 {
+		t.Errorf("total = %d, want 5", b.Total())
+	}
+	if len(b.Events()) != 2 {
+		t.Errorf("kept %d, want 2", len(b.Events()))
+	}
+	if b.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", b.Dropped())
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome-trace thread ids of one rank's tracks. Wire transfers are
+// rendered on a third per-rank track at the source rank, so application
+// spans and the transfers they caused line up on one timeline.
+const (
+	tidHost = 0
+	tidGPU  = 1
+	tidWire = 2
+)
+
+// chromeEvent is one entry of the Trace Event Format (the JSON consumed
+// by chrome://tracing and Perfetto). Only complete ("X") and metadata
+// ("M") events are emitted; timestamps are virtual microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serializes the recording in Chrome Trace Event
+// Format: one process per rank with "host", "gpu", and "wire" threads.
+// Output is deterministic (events sorted by time, then rank/track) so
+// traces diff cleanly across runs.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	var ranks []int
+	if r != nil {
+		r.mu.Lock()
+		for id, rk := range r.ranks {
+			if rk == nil || len(rk.spans) == 0 {
+				continue
+			}
+			ranks = append(ranks, id)
+			for _, s := range rk.spans {
+				end := s.End
+				if end < s.Begin {
+					end = s.Begin // still-open span: render as instant
+				}
+				ev := chromeEvent{
+					Name: s.Phase.String(),
+					Cat:  trackName(s.Track),
+					Ph:   "X",
+					Ts:   s.Begin * 1e6,
+					Dur:  (end - s.Begin) * 1e6,
+					Pid:  id,
+					Tid:  tidHost,
+				}
+				if s.Track == TrackGPU {
+					ev.Tid = tidGPU
+				}
+				if s.Bytes != 0 {
+					ev.Args = map[string]any{"bytes": s.Bytes}
+				}
+				events = append(events, ev)
+			}
+		}
+		wireRanks := make(map[int]bool)
+		for _, ev := range r.wire {
+			wireRanks[ev.Src] = true
+			events = append(events, chromeEvent{
+				Name: ev.Kind,
+				Cat:  "wire",
+				Ph:   "X",
+				Ts:   ev.Injected * 1e6,
+				Dur:  (ev.End - ev.Injected) * 1e6,
+				Pid:  ev.Src,
+				Tid:  tidWire,
+				Args: map[string]any{
+					"bytes": ev.Bytes, "dst": ev.Dst, "tag": ev.Tag,
+					"arrival_us": ev.Arrival * 1e6,
+				},
+			})
+		}
+		for id := range wireRanks {
+			if !containsInt(ranks, id) {
+				ranks = append(ranks, id)
+			}
+		}
+		r.mu.Unlock()
+	}
+	sort.Ints(ranks)
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := &events[i], &events[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		return a.Tid < b.Tid
+	})
+
+	// Metadata first: process and thread names per rank.
+	meta := make([]chromeEvent, 0, 4*len(ranks))
+	for _, id := range ranks {
+		meta = append(meta,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: id, Tid: 0,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", id)}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: id, Tid: tidHost,
+				Args: map[string]any{"name": "host"}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: id, Tid: tidGPU,
+				Args: map[string]any{"name": "gpu"}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: id, Tid: tidWire,
+				Args: map[string]any{"name": "wire"}},
+		)
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	writeEv := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+	for _, ev := range meta {
+		if err := writeEv(ev); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		if err := writeEv(ev); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func trackName(t Track) string {
+	if t == TrackGPU {
+		return "gpu"
+	}
+	return "host"
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

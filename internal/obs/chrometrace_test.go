@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecorder builds a small deterministic recording: two ranks, host
+// and GPU spans, one wire transfer, one still-open span.
+func goldenRecorder() *Recorder {
+	rec := New(Options{Trace: true})
+	r0 := rec.Rank(0)
+	r0.Begin(TrackHost, PhasePack, 0)
+	r0.End(0.001, 4096)
+	r0.Begin(TrackHost, PhaseExchange, 0.001)
+	r0.Span(TrackHost, PhaseFence, 0.003, 0.004, 0)
+	r0.End(0.004, 8192)
+	r0.Span(TrackGPU, PhaseCompress, 0.0005, 0.0015, 0)
+
+	r1 := rec.Rank(1)
+	r1.Begin(TrackHost, PhaseFFT, 0.002)
+	r1.End(0.0035, 0)
+	r1.Begin(TrackHost, PhaseUnpack, 0.004) // left open on purpose
+
+	rec.Wire(WireEvent{Src: 0, Dst: 1, Tag: 7, Bytes: 1024, Kind: "inter",
+		Injected: 0.0015, End: 0.002, Arrival: 0.0025})
+	return rec
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden file (run with -update to regenerate)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceValid checks structural invariants independent of the
+// golden bytes: parseable JSON, metadata before data, sane events.
+func TestChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var sawData bool
+	names := map[string]bool{}
+	var lastTs float64
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if sawData {
+				t.Error("metadata event after data events")
+			}
+		case "X":
+			sawData = true
+			names[ev.Name] = true
+			if ev.Dur < 0 {
+				t.Errorf("negative duration on %q", ev.Name)
+			}
+			if ev.Ts < lastTs {
+				t.Errorf("events not time-sorted: %v after %v", ev.Ts, lastTs)
+			}
+			lastTs = ev.Ts
+		default:
+			t.Errorf("unexpected event type %q", ev.Ph)
+		}
+	}
+	for _, want := range []string{"pack", "exchange", "fence", "compress", "fft", "unpack", "inter"} {
+		if !names[want] {
+			t.Errorf("trace missing %q event", want)
+		}
+	}
+}
+
+func TestChromeTraceNilRecorder(t *testing.T) {
+	var rec *Recorder
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil recorder trace is invalid JSON: %v", err)
+	}
+}

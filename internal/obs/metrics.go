@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Metrics is a registry of named counters, gauges, and histograms.
+// A nil *Metrics is valid and records nothing. Names are slash-scoped
+// ("compress/fwd0/raw_bytes"); callers on hot paths should precompute
+// them so recording stays allocation-free.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*hist
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*hist),
+	}
+}
+
+// hist is a power-of-two-bucket histogram over non-negative samples.
+type hist struct {
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  [64]int64 // bucket i holds samples in [2^(i-32), 2^(i-31))
+}
+
+func (h *hist) observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	b := 0
+	if v > 0 {
+		b = int(math.Floor(math.Log2(v))) + 32
+		if b < 0 {
+			b = 0
+		}
+		if b > 63 {
+			b = 63
+		}
+	}
+	h.buckets[b]++
+}
+
+// Add increments counter name by v.
+func (m *Metrics) Add(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.counters[name] += v
+	m.mu.Unlock()
+}
+
+// Set stores gauge name (last write wins).
+func (m *Metrics) Set(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// Observe records one histogram sample under name.
+func (m *Metrics) Observe(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = &hist{}
+		m.hists[name] = h
+	}
+	h.observe(v)
+	m.mu.Unlock()
+}
+
+// Counter returns the current value of a counter (0 if absent).
+func (m *Metrics) Counter(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Gauge returns a gauge's value and whether it was ever set.
+func (m *Metrics) Gauge(name string) (float64, bool) {
+	if m == nil {
+		return 0, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.gauges[name]
+	return v, ok
+}
+
+// HistStat summarizes one histogram.
+type HistStat struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+}
+
+// Mean returns the sample mean (0 when empty).
+func (s HistStat) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Hist returns a histogram's summary and whether it exists.
+func (m *Metrics) Hist(name string) (HistStat, bool) {
+	if m == nil {
+		return HistStat{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		return HistStat{}, false
+	}
+	return HistStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}, true
+}
+
+// CounterNames returns all counter names, sorted.
+func (m *Metrics) CounterNames() []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.counters))
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GaugeNames returns all gauge names, sorted.
+func (m *Metrics) GaugeNames() []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.gauges))
+	for n := range m.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistNames returns all histogram names, sorted.
+func (m *Metrics) HistNames() []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.hists))
+	for n := range m.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Compression-metric naming convention shared by the exchange layer and
+// the reports: each labelled compressing exchange maintains the pair
+// "compress/<label>/raw_bytes" and "compress/<label>/wire_bytes" plus
+// the gauge "compress/<label>/error_bound".
+const (
+	compressPrefix  = "compress/"
+	rawBytesSuffix  = "/raw_bytes"
+	wireBytesSuffix = "/wire_bytes"
+	errBoundSuffix  = "/error_bound"
+)
+
+// CompressMetricNames returns the precomputed metric names of one
+// labelled compressing exchange (raw counter, wire counter, error-bound
+// gauge), for construction-time use by hot paths.
+func CompressMetricNames(label string) (raw, wire, errBound string) {
+	return compressPrefix + label + rawBytesSuffix,
+		compressPrefix + label + wireBytesSuffix,
+		compressPrefix + label + errBoundSuffix
+}
+
+// CompressionStat is the achieved compression of one labelled exchange.
+type CompressionStat struct {
+	Label      string
+	RawBytes   int64
+	WireBytes  int64
+	ErrorBound float64 // 0 when the gauge was never set
+}
+
+// Ratio returns raw/wire (1 when no bytes were recorded).
+func (s CompressionStat) Ratio() float64 {
+	if s.WireBytes == 0 {
+		return 1
+	}
+	return float64(s.RawBytes) / float64(s.WireBytes)
+}
+
+// CompressionStats scans the registry for the per-label compression
+// counters and returns one entry per label, sorted by label. This is
+// what the benchmark drivers print as the *achieved* compression ratio
+// (as opposed to the method's nominal one).
+func (m *Metrics) CompressionStats() []CompressionStat {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	byLabel := make(map[string]*CompressionStat)
+	get := func(label string) *CompressionStat {
+		s := byLabel[label]
+		if s == nil {
+			s = &CompressionStat{Label: label}
+			byLabel[label] = s
+		}
+		return s
+	}
+	for name, v := range m.counters {
+		if !strings.HasPrefix(name, compressPrefix) {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, rawBytesSuffix):
+			get(name[len(compressPrefix) : len(name)-len(rawBytesSuffix)]).RawBytes = v
+		case strings.HasSuffix(name, wireBytesSuffix):
+			get(name[len(compressPrefix) : len(name)-len(wireBytesSuffix)]).WireBytes = v
+		}
+	}
+	for name, v := range m.gauges {
+		if strings.HasPrefix(name, compressPrefix) && strings.HasSuffix(name, errBoundSuffix) {
+			get(name[len(compressPrefix) : len(name)-len(errBoundSuffix)]).ErrorBound = v
+		}
+	}
+	m.mu.Unlock()
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := make([]CompressionStat, len(labels))
+	for i, l := range labels {
+		out[i] = *byLabel[l]
+	}
+	return out
+}

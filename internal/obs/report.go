@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// PhaseStat aggregates one pipeline phase across ranks.
+type PhaseStat struct {
+	Phase Phase
+	// Mean and Max are per-rank total durations (seconds).
+	Mean, Max float64
+	// Bytes is the payload attributed to the phase, summed over ranks.
+	Bytes int64
+	// Count is the number of spans, summed over ranks.
+	Count int64
+}
+
+// Breakdown is the per-phase decomposition of a recording.
+type Breakdown struct {
+	Phases []PhaseStat
+	// Wall is the recording's host-timeline extent:
+	// max span end − min span begin over all ranks.
+	Wall float64
+	// Ranks is the number of ranks that recorded host spans.
+	Ranks int
+}
+
+// Sum returns the mean per-rank durations summed over phases — the
+// quantity that should come within a few percent of Wall when the
+// pipeline phases tile each rank's timeline.
+func (b Breakdown) Sum() float64 {
+	var s float64
+	for _, p := range b.Phases {
+		s += p.Mean
+	}
+	return s
+}
+
+// Coverage returns Sum()/Wall (0 when no time elapsed).
+func (b Breakdown) Coverage() float64 {
+	if b.Wall <= 0 {
+		return 0
+	}
+	return b.Sum() / b.Wall
+}
+
+// PhaseBreakdown aggregates the five top-level pipeline phases over all
+// ranks' host spans. Nested detail spans (fence, flush, compress, ...)
+// are excluded so the sum does not double-count.
+func (r *Recorder) PhaseBreakdown() Breakdown {
+	var b Breakdown
+	if r == nil {
+		return b
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var totals [numPhases]struct {
+		sum, max float64
+		bytes    int64
+		count    int64
+	}
+	begin, end := 0.0, 0.0
+	seenSpan := false
+	for _, rk := range r.ranks {
+		if rk == nil || len(rk.spans) == 0 {
+			continue
+		}
+		var perRank [numPhases]float64
+		rankHasHost := false
+		for _, s := range rk.spans {
+			if s.Track != TrackHost || s.End < s.Begin {
+				continue
+			}
+			rankHasHost = true
+			if !seenSpan || s.Begin < begin {
+				begin = s.Begin
+			}
+			if !seenSpan || s.End > end {
+				end = s.End
+			}
+			seenSpan = true
+			if !s.Phase.Pipeline() {
+				continue
+			}
+			perRank[s.Phase] += s.End - s.Begin
+			totals[s.Phase].bytes += s.Bytes
+			totals[s.Phase].count++
+		}
+		if !rankHasHost {
+			continue
+		}
+		b.Ranks++
+		for ph := range perRank {
+			totals[ph].sum += perRank[ph]
+			if perRank[ph] > totals[ph].max {
+				totals[ph].max = perRank[ph]
+			}
+		}
+	}
+	if b.Ranks == 0 {
+		return b
+	}
+	b.Wall = end - begin
+	for _, ph := range PipelinePhases {
+		t := totals[ph]
+		if t.count == 0 && t.sum == 0 {
+			continue
+		}
+		b.Phases = append(b.Phases, PhaseStat{
+			Phase: ph,
+			Mean:  t.sum / float64(b.Ranks),
+			Max:   t.max,
+			Bytes: t.bytes,
+			Count: t.count,
+		})
+	}
+	return b
+}
+
+// WriteReport prints the human-readable observability report: the phase
+// breakdown table, achieved compression per labelled exchange, recording
+// health (drops), and the raw metric registry.
+func (r *Recorder) WriteReport(w io.Writer) {
+	if r == nil {
+		fmt.Fprintln(w, "obs: recording disabled")
+		return
+	}
+	b := r.PhaseBreakdown()
+	if b.Ranks > 0 {
+		fmt.Fprintf(w, "phase breakdown (%d ranks, host timeline)\n", b.Ranks)
+		fmt.Fprintf(w, "  %-10s %12s %12s %8s %14s\n", "phase", "mean/rank", "max/rank", "share", "bytes")
+		for _, p := range b.Phases {
+			share := 0.0
+			if b.Wall > 0 {
+				share = p.Mean / b.Wall
+			}
+			fmt.Fprintf(w, "  %-10s %10.3fms %10.3fms %7.1f%% %14d\n",
+				p.Phase, p.Mean*1e3, p.Max*1e3, 100*share, p.Bytes)
+		}
+		fmt.Fprintf(w, "  %-10s %10.3fms\n", "sum", b.Sum()*1e3)
+		fmt.Fprintf(w, "  %-10s %10.3fms  (phases cover %.1f%% of wall)\n",
+			"wall", b.Wall*1e3, 100*b.Coverage())
+	}
+
+	m := r.metrics
+	if stats := m.CompressionStats(); len(stats) > 0 {
+		fmt.Fprintln(w, "achieved compression")
+		for _, s := range stats {
+			fmt.Fprintf(w, "  %-12s %8.2fx  (%d -> %d bytes, error bound %.2e)\n",
+				s.Label, s.Ratio(), s.RawBytes, s.WireBytes, s.ErrorBound)
+		}
+	}
+
+	if d := r.DroppedSpans() + r.DroppedWire(); d > 0 {
+		fmt.Fprintf(w, "recording drops: %d spans, %d wire events\n",
+			r.DroppedSpans(), r.DroppedWire())
+	}
+
+	if m == nil {
+		return
+	}
+	if names := m.CounterNames(); len(names) > 0 {
+		fmt.Fprintln(w, "counters")
+		for _, n := range names {
+			fmt.Fprintf(w, "  %-40s %d\n", n, m.Counter(n))
+		}
+	}
+	if names := m.GaugeNames(); len(names) > 0 {
+		fmt.Fprintln(w, "gauges")
+		for _, n := range names {
+			v, _ := m.Gauge(n)
+			fmt.Fprintf(w, "  %-40s %g\n", n, v)
+		}
+	}
+	if names := m.HistNames(); len(names) > 0 {
+		fmt.Fprintln(w, "histograms")
+		for _, n := range names {
+			h, _ := m.Hist(n)
+			fmt.Fprintf(w, "  %-40s n=%d mean=%.3g min=%.3g max=%.3g\n",
+				n, h.Count, h.Mean(), h.Min, h.Max)
+		}
+	}
+}
