@@ -1,6 +1,6 @@
 # Convenience targets; the repo needs only the Go toolchain.
 
-.PHONY: build test verify trace-demo clean
+.PHONY: build test verify trace-demo bench benchdiff clean
 
 build:
 	go build ./...
@@ -10,19 +10,45 @@ test:
 
 # verify is the tier-1 recipe from ROADMAP.md: full build + tests, vet,
 # and the race detector over the packages used from concurrent rank
-# goroutines (the observability layer and the exchange backends).
+# goroutines (the observability layer, the exchange backends, the mpi
+# runtime, and the simulator engine itself).
 verify:
 	go build ./...
 	go test ./...
 	go vet ./...
-	go test -race ./internal/obs/... ./internal/exchange/...
+	go test -race ./internal/obs/... ./internal/exchange/... ./internal/mpi/... ./internal/netsim/...
 
 # trace-demo runs a small compressed strong-scaling cell and writes a
 # Chrome-trace JSON (open in chrome://tracing or ui.perfetto.dev) plus
-# the phase-breakdown/metrics report.
+# the phase-breakdown/metrics report. Analyze the trace with
+# `go run ./cmd/tracetool trace-demo.json`.
 trace-demo:
 	go run ./cmd/fftbench -n 64 -sim 64 -gpus 24 -configs fp64-32,fp64-16 \
 		-iters 1 -trace trace-demo.json -metrics
+
+# The committed bench baselines. Small deterministic configurations —
+# all times are virtual, so the artifacts are bit-identical across
+# machines and regenerating them only changes the JSON when the
+# simulated performance actually changed.
+BENCH_FFT_FLAGS = -n 32 -sim 64 -gpus 12,24 -iters 1 -configs fp64,fp32,fp64-32,fp64-16
+BENCH_A2A_FLAGS = -msg 65536 -iters 1 -gpus 12,24 -algos linear,osc,osc-comp
+
+# bench regenerates the committed baselines in place. Run it (and commit
+# the result) when a performance change is intentional.
+bench:
+	go run ./cmd/fftbench $(BENCH_FFT_FLAGS) -json BENCH_fft.json
+	go run ./cmd/alltoallbench $(BENCH_A2A_FLAGS) -json BENCH_alltoall.json
+
+# benchdiff regenerates the artifacts from the current tree into a temp
+# directory and gates them against the committed baselines (nonzero exit
+# on >10% regression or a vanished configuration).
+benchdiff:
+	$(eval TMP := $(shell mktemp -d))
+	go run ./cmd/fftbench $(BENCH_FFT_FLAGS) -json $(TMP)/fft.json > /dev/null
+	go run ./cmd/alltoallbench $(BENCH_A2A_FLAGS) -json $(TMP)/alltoall.json > /dev/null
+	go run ./cmd/benchdiff BENCH_fft.json $(TMP)/fft.json
+	go run ./cmd/benchdiff BENCH_alltoall.json $(TMP)/alltoall.json
+	rm -rf $(TMP)
 
 clean:
 	rm -f trace-demo.json

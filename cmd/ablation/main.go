@@ -10,6 +10,10 @@
 // Usage:
 //
 //	go run ./cmd/ablation [-which all] [-gpus 96] [-msg 81920]
+//	                      [-trace out.json] [-metrics]
+//
+// -trace writes a Chrome-trace JSON of the last measured run (analyze it
+// with cmd/tracetool); -metrics prints its phase/metrics report.
 package main
 
 import (
@@ -23,17 +27,40 @@ import (
 	"repro/internal/exchange"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
+
+// recording carries the -trace/-metrics state: each ablation run may
+// grab a fresh recorder, and the last one is exported at exit.
+type recording struct {
+	on       bool
+	lastRec  *obs.Recorder
+	lastCell string
+}
+
+var rec recording
+
+func (r *recording) grab(cell string) *obs.Recorder {
+	if !r.on {
+		return nil
+	}
+	r.lastRec = obs.New(obs.Options{Trace: true, Metrics: true})
+	r.lastCell = cell
+	return r.lastRec
+}
 
 func main() {
 	which := flag.String("which", "all", "comma list: window,permute,pipeline,chunks,flush,eager,transport,reshapes")
 	gpus := flag.Int("gpus", 96, "GPU count (multiple of 6)")
 	msg := flag.Int("msg", 80*1024, "message size per pair for exchange ablations")
+	traceFlag := flag.String("trace", "", "write a Chrome-trace JSON of the last measured run to this file")
+	metricsFlag := flag.Bool("metrics", false, "print the metrics report of the last measured run")
 	flag.Parse()
 	if *gpus%6 != 0 {
 		fmt.Fprintln(os.Stderr, "ablation: -gpus must be a multiple of 6")
 		os.Exit(1)
 	}
+	rec.on = *traceFlag != "" || *metricsFlag
 	cfg := netsim.Summit(*gpus / 6)
 	want := map[string]bool{}
 	for _, w := range strings.Split(*which, ",") {
@@ -65,6 +92,28 @@ func main() {
 	if all || want["reshapes"] {
 		ablateReshapes(cfg)
 	}
+
+	if *metricsFlag && rec.lastRec != nil {
+		fmt.Printf("\n# metrics report — %s\n", rec.lastCell)
+		rec.lastRec.WriteReport(os.Stdout)
+	}
+	if *traceFlag != "" && rec.lastRec != nil {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablation:", err)
+			os.Exit(1)
+		}
+		if err := rec.lastRec.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablation:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# trace written: %s (%s)\n", *traceFlag, rec.lastCell)
+	}
 }
 
 // ablateTransport separates the two contributions: compression over the
@@ -72,10 +121,10 @@ func main() {
 // classical two-sided all-to-all.
 func ablateTransport(cfg netsim.Config) {
 	n := [3]int{64, 64, 64}
-	osc := core.Measure[complex128](cfg, n, core.Options{
+	osc := core.MeasureWith[complex128](rec.grab("transport/one-sided"), cfg, n, core.Options{
 		Backend: core.BackendCompressed, Method: compress.Cast32{}, SimScale: 8,
 	}, 2, false).ForwardTime
-	two := core.Measure[complex128](cfg, n, core.Options{
+	two := core.MeasureWith[complex128](rec.grab("transport/two-sided"), cfg, n, core.Options{
 		Backend: core.BackendCompressedTwoSided, Method: compress.Cast32{}, SimScale: 8,
 	}, 2, false).ForwardTime
 	fmt.Printf("# transport (FP64→FP32 compression on both): one-sided %.2f ms vs two-sided %.2f ms (%.2fx)\n",
@@ -86,10 +135,10 @@ func ablateTransport(cfg netsim.Config) {
 // (brick vs pencil input/output).
 func ablateReshapes(cfg netsim.Config) {
 	n := [3]int{64, 64, 64}
-	brick := core.Measure[complex128](cfg, n, core.Options{
+	brick := core.MeasureWith[complex128](rec.grab("reshapes/brick"), cfg, n, core.Options{
 		Backend: core.BackendAlltoallv, SimScale: 8,
 	}, 2, false).ForwardTime
-	pencil := core.Measure[complex128](cfg, n, core.Options{
+	pencil := core.MeasureWith[complex128](rec.grab("reshapes/pencil"), cfg, n, core.Options{
 		Backend: core.BackendAlltoallv, SimScale: 8, PencilIO: true,
 	}, 2, false).ForwardTime
 	fmt.Printf("# reshape count: brick I/O (4 reshapes) %.2f ms vs pencil I/O (2 reshapes) %.2f ms (%.2fx)\n",
@@ -98,9 +147,9 @@ func ablateReshapes(cfg netsim.Config) {
 
 func ablateWindow(cfg netsim.Config) {
 	const iters = 8
-	timed := func(cached bool) float64 {
+	timed := func(cached bool, cell string) float64 {
 		var t float64
-		mpi.Run(cfg, func(c *mpi.Comm) {
+		mpi.RunWith(cfg, rec.grab(cell), func(c *mpi.Comm) {
 			c.Barrier()
 			start := c.Now()
 			var win *mpi.Win
@@ -117,24 +166,24 @@ func ablateWindow(cfg netsim.Config) {
 		})
 		return t
 	}
-	cachedT, freshT := timed(true), timed(false)
+	cachedT, freshT := timed(true, "window/cached"), timed(false, "window/fresh")
 	fmt.Printf("# window caching (§V-A): epoch cost with cached window %.1f µs, re-created %.1f µs (%.2fx)\n",
 		cachedT*1e6, freshT*1e6, freshT/cachedT)
 }
 
 func ablatePermute(cfg netsim.Config, msg int) {
-	aware := exchange.NodeBandwidth(cfg, exchange.AlgoOSC, msg, 2)
-	naive := exchange.NodeBandwidth(cfg, exchange.AlgoOSCNaive, msg, 2)
+	aware := exchange.NodeBandwidthWith(rec.grab("permute/node-aware"), cfg, exchange.AlgoOSC, msg, 2)
+	naive := exchange.NodeBandwidthWith(rec.grab("permute/naive"), cfg, exchange.AlgoOSCNaive, msg, 2)
 	fmt.Printf("# node-aware permutation: ring %.2f GB/s vs naive %.2f GB/s (%.2fx)\n",
 		aware/1e9, naive/1e9, aware/naive)
 }
 
 func ablatePipeline(cfg netsim.Config) {
 	n := [3]int{64, 64, 64}
-	on := core.Measure[complex128](cfg, n, core.Options{
+	on := core.MeasureWith[complex128](rec.grab("pipeline/overlapped"), cfg, n, core.Options{
 		Backend: core.BackendCompressed, Method: compress.Cast32{}, SimScale: 8,
 	}, 2, false).ForwardTime
-	off := core.Measure[complex128](cfg, n, core.Options{
+	off := core.MeasureWith[complex128](rec.grab("pipeline/synchronous"), cfg, n, core.Options{
 		Backend: core.BackendCompressed, Method: compress.Cast32{}, SimScale: 8, DisablePipeline: true,
 	}, 2, false).ForwardTime
 	fmt.Printf("# §V-B pipeline: overlapped %.2f ms vs synchronous %.2f ms per transform (%.2fx)\n",
@@ -144,16 +193,17 @@ func ablatePipeline(cfg netsim.Config) {
 func ablateChunks(cfg netsim.Config) {
 	fmt.Println("# pipeline depth sweep (compressed exchange, 512^3-equivalent volume):")
 	for _, k := range []int{1, 2, 4, 8, 16} {
-		t := exchange.CompressedExchangeTime(cfg, compress.Cast32{}, k, 40000, 2, true)
+		t := exchange.CompressedExchangeTimeWith(rec.grab(fmt.Sprintf("chunks/%d", k)),
+			cfg, compress.Cast32{}, k, 40000, 2, true)
 		fmt.Printf("#   chunks=%2d: %.3f ms\n", k, t*1e3)
 	}
 }
 
 func ablateFlush(cfg netsim.Config, msg int) {
-	timed := func(flush int) float64 {
+	timed := func(flush int, cell string) float64 {
 		p := cfg.Ranks()
 		var start, end float64
-		mpi.Run(cfg, func(c *mpi.Comm) {
+		mpi.RunWith(cfg, rec.grab(cell), func(c *mpi.Comm) {
 			o := exchange.NewOSCPhantom(c, exchange.Uniform(msg), true)
 			o.FlushEvery = flush
 			o.ExchangeN()
@@ -170,8 +220,8 @@ func ablateFlush(cfg netsim.Config, msg int) {
 		_ = p
 		return (end - start) / 2
 	}
-	stepped := timed(cfg.GPUsPerNode)
-	upfront := timed(0)
+	stepped := timed(cfg.GPUsPerNode, "flush/stepped")
+	upfront := timed(0, "flush/upfront")
 	fmt.Printf("# per-node-step flush: stepped %.3f ms vs all-upfront %.3f ms per exchange (%.2fx)\n",
 		stepped*1e3, upfront*1e3, upfront/stepped)
 }
@@ -181,7 +231,7 @@ func ablateEager(cfg netsim.Config, msg int) {
 	p := cfg.Ranks()
 	for _, thr := range []int{1024, 8192, 65536, 1 << 20} {
 		var start, end float64
-		mpi.Run(cfg, func(c *mpi.Comm) {
+		mpi.RunWith(cfg, rec.grab(fmt.Sprintf("eager/%d", thr)), func(c *mpi.Comm) {
 			c.SetEagerThreshold(thr)
 			sizes := make([]int, p)
 			for i := range sizes {

@@ -11,6 +11,10 @@
 //
 //	go run ./cmd/accuracy -table2 [-n 64] [-gpus 12,24,...]
 //	go run ./cmd/accuracy -fig2 [-n 32] [-gpus 12]
+//	                      [-trace out.json] [-metrics]
+//
+// -trace writes a Chrome-trace JSON of the last measured cell (analyze
+// it with cmd/tracetool); -metrics prints its phase-breakdown report.
 package main
 
 import (
@@ -23,7 +27,28 @@ import (
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
+
+// recording carries the -trace/-metrics state: every measurement gets a
+// fresh recorder, and the last one is exported after the tables.
+type recording struct {
+	on       bool
+	lastRec  *obs.Recorder
+	lastCell string
+}
+
+var rec recording
+
+// measure runs one cell with a recorder attached when recording is on.
+func (r *recording) measure(cell string) *obs.Recorder {
+	if !r.on {
+		return nil
+	}
+	r.lastRec = obs.New(obs.Options{Trace: true, Metrics: true})
+	r.lastCell = cell
+	return r.lastRec
+}
 
 func main() {
 	table2 := flag.Bool("table2", false, "reproduce Table II")
@@ -31,10 +56,13 @@ func main() {
 	nFlag := flag.Int("n", 64, "cubic problem size per dimension")
 	gpusFlag := flag.String("gpus", "12,24,48,96,192,384,768,1536", "GPU counts for -table2 (multiples of 6)")
 	fig2GPUs := flag.Int("fig2gpus", 12, "GPU count for the -fig2 sweep")
+	traceFlag := flag.String("trace", "", "write a Chrome-trace JSON of the last measured cell to this file")
+	metricsFlag := flag.Bool("metrics", false, "print the metrics report of the last measured cell")
 	flag.Parse()
 	if !*table2 && !*fig2 {
 		*table2, *fig2 = true, true
 	}
+	rec.on = *traceFlag != "" || *metricsFlag
 
 	n := [3]int{*nFlag, *nFlag, *nFlag}
 	if *table2 {
@@ -42,6 +70,28 @@ func main() {
 	}
 	if *fig2 {
 		runFig2(n, *fig2GPUs)
+	}
+
+	if *metricsFlag && rec.lastRec != nil {
+		fmt.Printf("\n# metrics report — %s\n", rec.lastCell)
+		rec.lastRec.WriteReport(os.Stdout)
+	}
+	if *traceFlag != "" && rec.lastRec != nil {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "accuracy:", err)
+			os.Exit(1)
+		}
+		if err := rec.lastRec.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "accuracy:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# trace written: %s (%s)\n", *traceFlag, rec.lastCell)
 	}
 }
 
@@ -55,11 +105,14 @@ func runTable2(n [3]int, gpus string) {
 			continue
 		}
 		cfg := netsim.Summit(g / 6)
-		e64 := core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendAlltoallv}, 0, true).RelErr
-		e32 := core.Measure[complex64](cfg, n, core.Options{Backend: core.BackendAlltoallv}, 0, true).RelErr
-		eMP := core.Measure[complex128](cfg, n, core.Options{
-			Backend: core.BackendCompressed, Method: compress.Cast32{},
-		}, 0, true).RelErr
+		e64 := core.MeasureWith[complex128](rec.measure(fmt.Sprintf("fp64 @ %d GPUs", g)),
+			cfg, n, core.Options{Backend: core.BackendAlltoallv}, 0, true).RelErr
+		e32 := core.MeasureWith[complex64](rec.measure(fmt.Sprintf("fp32 @ %d GPUs", g)),
+			cfg, n, core.Options{Backend: core.BackendAlltoallv}, 0, true).RelErr
+		eMP := core.MeasureWith[complex128](rec.measure(fmt.Sprintf("fp64-32 @ %d GPUs", g)),
+			cfg, n, core.Options{
+				Backend: core.BackendCompressed, Method: compress.Cast32{},
+			}, 0, true).RelErr
 		fmt.Printf("%8d%14.2e%14.2e%14.2e\n", g, e64, e32, eMP)
 	}
 }
@@ -75,15 +128,19 @@ func runFig2(n [3]int, gpus int) {
 	fmt.Printf("%8s%10s%14s%14s\n", "bits", "mantissa", "rel.err", "speedup")
 	for m := 52; m >= 4; m -= 4 {
 		method := compress.Trim{M: uint(m)}
-		r := core.Measure[complex128](cfg, n, core.Options{
-			Backend: core.BackendCompressed, Method: method,
-		}, 0, true)
+		r := core.MeasureWith[complex128](rec.measure(fmt.Sprintf("trim-%d @ %d GPUs", m, gpus)),
+			cfg, n, core.Options{
+				Backend: core.BackendCompressed, Method: method,
+			}, 0, true)
 		fmt.Printf("%8d%10d%14.2e%14.2f\n", method.BitsPerValue(), m, r.RelErr, 64/float64(method.BitsPerValue()))
 	}
-	e64 := core.Measure[complex128](cfg, n, core.Options{Backend: core.BackendAlltoallv}, 0, true).RelErr
-	e32 := core.Measure[complex64](cfg, n, core.Options{Backend: core.BackendAlltoallv}, 0, true).RelErr
-	eMP := core.Measure[complex128](cfg, n, core.Options{
-		Backend: core.BackendCompressed, Method: compress.Cast32{},
-	}, 0, true).RelErr
+	e64 := core.MeasureWith[complex128](rec.measure(fmt.Sprintf("fp64 @ %d GPUs", gpus)),
+		cfg, n, core.Options{Backend: core.BackendAlltoallv}, 0, true).RelErr
+	e32 := core.MeasureWith[complex64](rec.measure(fmt.Sprintf("fp32 @ %d GPUs", gpus)),
+		cfg, n, core.Options{Backend: core.BackendAlltoallv}, 0, true).RelErr
+	eMP := core.MeasureWith[complex128](rec.measure(fmt.Sprintf("fp64-32 @ %d GPUs", gpus)),
+		cfg, n, core.Options{
+			Backend: core.BackendCompressed, Method: compress.Cast32{},
+		}, 0, true).RelErr
 	fmt.Printf("# references: FP64 %.2e | FP32 (full pipeline) %.2e | MP 64/32 %.2e\n", e64, e32, eMP)
 }

@@ -5,10 +5,13 @@
 // Usage:
 //
 //	go run ./cmd/alltoallbench [-msg 81920] [-iters 2] [-gpus 6,12,...] [-algos linear,osc]
-//	                           [-trace out.json] [-metrics]
+//	                           [-trace out.json] [-metrics] [-json bench.json]
 //
 // The osc-comp algorithm runs the compressed one-sided exchange on real
 // payloads; its achieved compression ratio is printed after the table.
+// -json writes the versioned bench artifact (per-cell node bandwidth,
+// achieved compression, trace analysis) that cmd/benchdiff gates
+// regressions against.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"repro/internal/exchange"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/plot"
 )
 
@@ -32,6 +36,7 @@ func main() {
 	doPlot := flag.Bool("plot", false, "render the figure as an ASCII chart")
 	traceFlag := flag.String("trace", "", "write a Chrome-trace JSON of the last measured cell to this file")
 	metricsFlag := flag.Bool("metrics", false, "print the metrics report of the last measured cell")
+	jsonFlag := flag.String("json", "", "write the machine-readable bench artifact to this file")
 	flag.Parse()
 
 	gpus, err := parseInts(*gpusFlag)
@@ -52,6 +57,15 @@ func main() {
 	for i, a := range algos {
 		series[i].Name = a
 	}
+	// The artifact embeds trace analyses, so -json records like -trace.
+	recording := *traceFlag != "" || *jsonFlag != ""
+	artifact := &analyze.Artifact{
+		Tool: "alltoallbench",
+		Config: map[string]string{
+			"msg": fmt.Sprint(*msg), "iters": fmt.Sprint(*iters),
+			"gpus": *gpusFlag, "algos": *algosFlag,
+		},
+	}
 	// recorders keeps the last measured cell's recorder per algorithm so
 	// achieved compression can be reported after the table.
 	recorders := make([]*obs.Recorder, len(algos))
@@ -65,13 +79,23 @@ func main() {
 		fmt.Printf("%8d", g)
 		labels = append(labels, fmt.Sprint(g))
 		for i, a := range algos {
-			rec := obs.New(obs.Options{Trace: *traceFlag != "", Metrics: true})
+			rec := obs.New(obs.Options{Trace: recording, Metrics: true})
 			bw := exchange.NodeBandwidthWith(rec, netsim.Summit(g/6), a, *msg, *iters)
 			recorders[i] = rec
 			lastRec = rec
 			lastCell = fmt.Sprintf("%s @ %d GPUs", a, g)
 			fmt.Printf("%14.2f", bw/1e9)
 			series[i].Values = append(series[i].Values, bw/1e9)
+			if *jsonFlag != "" {
+				row := analyze.Row{
+					Name: a, GPUs: g, NodeBW: bw,
+					Compression: analyze.CompressionRows(rec.Metrics().CompressionStats()),
+				}
+				s := analyze.Summarize(analyze.FromRecorder(rec), 0)
+				row.Analysis = &s
+				artifact.Machine = rec.Machine()
+				artifact.Rows = append(artifact.Rows, row)
+			}
 		}
 		fmt.Println()
 	}
@@ -107,6 +131,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("# trace written: %s (%s)\n", *traceFlag, lastCell)
+	}
+	if *jsonFlag != "" {
+		if err := artifact.WriteFile(*jsonFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "alltoallbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# bench artifact written: %s (%d rows)\n", *jsonFlag, len(artifact.Rows))
 	}
 	if *doPlot {
 		fmt.Println()

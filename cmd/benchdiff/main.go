@@ -1,0 +1,52 @@
+// Command benchdiff gates performance regressions: it compares a new
+// bench artifact (written by fftbench/alltoallbench -json) against a
+// committed baseline and exits nonzero when any metric worsened beyond
+// the relative threshold, or when a baseline configuration disappeared.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff [-threshold 0.1] baseline.json new.json
+//
+// Seconds and max_error gate lower-is-better; node_bw higher-is-better.
+// `make benchdiff` regenerates the current tree's artifacts and runs
+// this against the committed BENCH_*.json baselines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs/analyze"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.1, "relative worsening that fails the gate (0.1 = 10%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F] baseline.json new.json")
+		os.Exit(2)
+	}
+
+	oldA, err := analyze.LoadArtifact(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newA, err := analyze.LoadArtifact(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if oldA.Tool != newA.Tool {
+		fmt.Fprintf(os.Stderr, "benchdiff: comparing %s baseline against %s artifact\n", oldA.Tool, newA.Tool)
+		os.Exit(1)
+	}
+
+	d := analyze.Diff(oldA, newA, *threshold)
+	fmt.Printf("# %s: %s vs %s\n", oldA.Tool, flag.Arg(0), flag.Arg(1))
+	d.WriteText(os.Stdout)
+	if d.Regressed() {
+		os.Exit(1)
+	}
+}

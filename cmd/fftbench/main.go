@@ -13,10 +13,13 @@
 // Usage:
 //
 //	go run ./cmd/fftbench [-n 128] [-gpus 12,24,...] [-iters 1] [-configs fp64,fp32,fp64-32,fp64-16]
-//	                      [-trace out.json] [-metrics]
+//	                      [-trace out.json] [-metrics] [-json bench.json]
 //
 // -trace writes a Chrome-trace JSON (chrome://tracing / Perfetto) of
-// the last measured cell; -metrics prints its phase-breakdown report.
+// the last measured cell; -metrics prints its phase-breakdown report;
+// -json writes the versioned bench artifact (every cell's virtual-time
+// results, achieved compression, model-vs-measured exchange deltas, and
+// trace analysis) that cmd/benchdiff gates regressions against.
 // Compressed configs always report their achieved (not just nominal)
 // compression ratio per reshape after the table.
 package main
@@ -32,53 +35,76 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/plot"
 )
 
+// config pairs a named pipeline configuration with the options that
+// build it. fp32 selects the complex64 pipeline (8-byte elements on the
+// wire instead of 16), which is what the cost model needs to know too.
 type config struct {
 	name string
-	run  func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, simScale int) core.Result
+	opts core.Options
+	fp32 bool
+}
+
+func (c config) elemBytes() int {
+	if c.fp32 {
+		return 8
+	}
+	return 16
+}
+
+func (c config) run(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, simScale int) core.Result {
+	opts := c.opts
+	opts.SimScale = simScale
+	if c.fp32 {
+		return core.MeasureWith[complex64](rec, cfg, n, opts, iters, false)
+	}
+	return core.MeasureWith[complex128](rec, cfg, n, opts, iters, false)
 }
 
 func configByName(name string) (config, bool) {
 	switch name {
 	case "fp64":
-		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendAlltoallv, SimScale: ss}, iters, false)
-		}}, true
+		return config{name: name, opts: core.Options{Backend: core.BackendAlltoallv}}, true
 	case "fp32":
-		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.MeasureWith[complex64](rec, cfg, n, core.Options{Backend: core.BackendAlltoallv, SimScale: ss}, iters, false)
-		}}, true
+		return config{name: name, opts: core.Options{Backend: core.BackendAlltoallv}, fp32: true}, true
 	case "fp64-32":
-		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendCompressed, Method: compress.Cast32{}, SimScale: ss}, iters, false)
-		}}, true
+		return config{name: name, opts: core.Options{Backend: core.BackendCompressed, Method: compress.Cast32{}}}, true
 	case "fp64-16":
-		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendCompressed, Method: compress.Cast16{}, SimScale: ss}, iters, false)
-		}}, true
+		return config{name: name, opts: core.Options{Backend: core.BackendCompressed, Method: compress.Cast16{}}}, true
 	case "fp64-bf16":
-		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendCompressed, Method: compress.CastBF16{}, SimScale: ss}, iters, false)
-		}}, true
+		return config{name: name, opts: core.Options{Backend: core.BackendCompressed, Method: compress.CastBF16{}}}, true
 	case "fp64-32-2s":
 		// Compression over the two-sided transport (ablation).
-		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendCompressedTwoSided, Method: compress.Cast32{}, SimScale: ss}, iters, false)
-		}}, true
+		return config{name: name, opts: core.Options{Backend: core.BackendCompressedTwoSided, Method: compress.Cast32{}}}, true
 	case "osc":
 		// Uncompressed one-sided exchange (isolates the OSC gain).
-		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendOSC, SimScale: ss}, iters, false)
-		}}, true
+		return config{name: name, opts: core.Options{Backend: core.BackendOSC}}, true
 	case "fp64-pencil":
 		// Reduced-reshape configuration (pencil-shaped input/output).
-		return config{name, func(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, ss int) core.Result {
-			return core.MeasureWith[complex128](rec, cfg, n, core.Options{Backend: core.BackendAlltoallv, SimScale: ss, PencilIO: true}, iters, false)
-		}}, true
+		return config{name: name, opts: core.Options{Backend: core.BackendAlltoallv, PencilIO: true}}, true
 	}
 	return config{}, false
+}
+
+// modelDeltas pairs the cost model's per-reshape prediction with the
+// measured exchange-time histograms of the run.
+func modelDeltas(rec *obs.Recorder, machine netsim.Config, n [3]int, c config, simScale int) []analyze.ModelDelta {
+	opts := c.opts
+	opts.SimScale = simScale
+	var out []analyze.ModelDelta
+	for _, est := range core.PredictExchanges(machine, n, opts, c.elemBytes()) {
+		h, ok := rec.Metrics().Hist("exchange/" + est.Label + "/time_s")
+		if !ok || h.Count == 0 || est.Predicted <= 0 {
+			continue
+		}
+		d := analyze.ModelDelta{Label: est.Label, Measured: h.Mean(), Predicted: est.Predicted}
+		d.Ratio = d.Measured / d.Predicted
+		out = append(out, d)
+	}
+	return out
 }
 
 func main() {
@@ -90,6 +116,7 @@ func main() {
 	doPlot := flag.Bool("plot", false, "render the figure as an ASCII chart")
 	traceFlag := flag.String("trace", "", "write a Chrome-trace JSON of the last measured cell to this file")
 	metricsFlag := flag.Bool("metrics", false, "print the phase-breakdown/metrics report of the last measured cell")
+	jsonFlag := flag.String("json", "", "write the machine-readable bench artifact to this file")
 	flag.Parse()
 
 	n := [3]int{*nFlag, *nFlag, *nFlag}
@@ -107,6 +134,8 @@ func main() {
 		}
 		configs = append(configs, c)
 	}
+	// The artifact embeds trace analyses, so -json records like -trace.
+	recording := *traceFlag != "" || *jsonFlag != ""
 
 	fmt.Printf("# Fig. 4 — strong scaling, %d^3 simulated problem (%d^3 data)\n", *simFlag, *nFlag)
 	fmt.Printf("%8s", "GPUs")
@@ -123,6 +152,13 @@ func main() {
 		series[i].Name = c.name
 	}
 	var labels []string
+	artifact := &analyze.Artifact{
+		Tool: "fftbench",
+		Config: map[string]string{
+			"n": fmt.Sprint(*nFlag), "sim": fmt.Sprint(*simFlag),
+			"gpus": *gpusFlag, "iters": fmt.Sprint(*iters), "configs": *configsFlag,
+		},
+	}
 	// One recorder per (config, GPU-count) cell; recorders keeps the last
 	// measured row's recorder per config for the post-table summaries.
 	recorders := make([]*obs.Recorder, len(configs))
@@ -137,11 +173,24 @@ func main() {
 		machine := netsim.Summit(g / 6)
 		gflops := make([]float64, len(configs))
 		for i, c := range configs {
-			rec := obs.New(obs.Options{Trace: *traceFlag != "", Metrics: true})
-			gflops[i] = c.run(rec, machine, n, *iters, simScale).Gflops
+			rec := obs.New(obs.Options{Trace: recording, Metrics: true})
+			res := c.run(rec, machine, n, *iters, simScale)
+			gflops[i] = res.Gflops
 			recorders[i] = rec
 			lastRec = rec
 			lastCell = fmt.Sprintf("%s @ %d GPUs", c.name, g)
+			if *jsonFlag != "" {
+				row := analyze.Row{
+					Name: c.name, GPUs: g,
+					Seconds: res.ForwardTime, Gflops: res.Gflops,
+					Compression: analyze.CompressionRows(rec.Metrics().CompressionStats()),
+					Model:       modelDeltas(rec, machine, n, c, simScale),
+				}
+				s := analyze.Summarize(analyze.FromRecorder(rec), 0)
+				row.Analysis = &s
+				artifact.Machine = rec.Machine()
+				artifact.Rows = append(artifact.Rows, row)
+			}
 		}
 		fmt.Printf("%8d", g)
 		labels = append(labels, fmt.Sprint(g))
@@ -189,6 +238,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("# trace written: %s (%s) — open in chrome://tracing or ui.perfetto.dev\n", *traceFlag, lastCell)
+	}
+	if *jsonFlag != "" {
+		if err := artifact.WriteFile(*jsonFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "fftbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# bench artifact written: %s (%d rows)\n", *jsonFlag, len(artifact.Rows))
 	}
 	if *doPlot {
 		fmt.Println()

@@ -1,11 +1,14 @@
 // Command sweep regenerates every experiment of EXPERIMENTS.md in one
 // run, writing one file per table/figure into an output directory.
 //
-//	go run ./cmd/sweep [-out results] [-quick]
+//	go run ./cmd/sweep [-out results] [-quick] [-trace DIR] [-metrics]
 //
 // -quick caps the GPU counts at 96 and shrinks problems so the whole
 // sweep finishes in well under a minute (CI mode); the default runs the
-// full 12…1536-GPU sweeps.
+// full 12…1536-GPU sweeps. -metrics passes -metrics to every driver
+// that supports it, so each output file ends with the phase/metrics
+// report of its last cell; -trace DIR collects one Chrome-trace JSON
+// per job (<dir>/<job>.trace.json), ready for cmd/tracetool.
 package main
 
 import (
@@ -14,22 +17,33 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"time"
 )
 
 type job struct {
 	file string
 	args []string
+	// observable marks drivers that accept -trace/-metrics.
+	observable bool
 }
 
 func main() {
 	out := flag.String("out", "results", "output directory")
 	quick := flag.Bool("quick", false, "small, fast configuration")
+	traceDir := flag.String("trace", "", "collect per-job Chrome traces into this directory")
+	metrics := flag.Bool("metrics", false, "append each driver's metrics report to its output file")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
 	}
 
 	gpus := "12,24,48,96,192,384,768,1536"
@@ -46,17 +60,28 @@ func main() {
 	}
 
 	jobs := []job{
-		{"table1.txt", []string{"run", "./cmd/precisions"}},
-		{"fig3.txt", []string{"run", "./cmd/alltoallbench", "-gpus", fig3GPUs, "-iters", iters}},
-		{"fig4.txt", []string{"run", "./cmd/fftbench", "-n", n, "-sim", sim, "-gpus", gpus, "-iters", "1"}},
-		{"table2.txt", []string{"run", "./cmd/accuracy", "-table2", "-n", t2n, "-gpus", gpus}},
-		{"fig2.txt", []string{"run", "./cmd/accuracy", "-fig2", "-n", f2n, "-fig2gpus", "12"}},
-		{"ablation.txt", []string{"run", "./cmd/ablation", "-gpus", ablGPUs}},
+		{"table1.txt", []string{"run", "./cmd/precisions"}, false},
+		{"fig3.txt", []string{"run", "./cmd/alltoallbench", "-gpus", fig3GPUs, "-iters", iters}, true},
+		{"fig4.txt", []string{"run", "./cmd/fftbench", "-n", n, "-sim", sim, "-gpus", gpus, "-iters", "1"}, true},
+		{"table2.txt", []string{"run", "./cmd/accuracy", "-table2", "-n", t2n, "-gpus", gpus}, true},
+		{"fig2.txt", []string{"run", "./cmd/accuracy", "-fig2", "-n", f2n, "-fig2gpus", "12"}, true},
+		{"ablation.txt", []string{"run", "./cmd/ablation", "-gpus", ablGPUs}, true},
 	}
 	for _, j := range jobs {
+		args := j.args
+		if j.observable {
+			if *metrics {
+				args = append(append([]string(nil), args...), "-metrics")
+			}
+			if *traceDir != "" {
+				name := strings.TrimSuffix(j.file, filepath.Ext(j.file))
+				args = append(append([]string(nil), args...),
+					"-trace", filepath.Join(*traceDir, name+".trace.json"))
+			}
+		}
 		start := time.Now()
 		fmt.Printf("sweep: %-12s ... ", j.file)
-		cmd := exec.Command("go", j.args...)
+		cmd := exec.Command("go", args...)
 		outBytes, err := cmd.CombinedOutput()
 		if err != nil {
 			fmt.Printf("FAILED (%v)\n%s", err, outBytes)

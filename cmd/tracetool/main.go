@@ -1,0 +1,51 @@
+// Command tracetool analyzes a saved trace (the Chrome-trace JSON that
+// every driver writes with -trace): it extracts the critical path
+// through the rank-span/wire-event dependency graph, decomposes it by
+// phase and link, reports per-resource utilization timelines (NICs,
+// node buses, GPU streams), and measures compression/communication
+// overlap efficiency.
+//
+// Usage:
+//
+//	go run ./cmd/tracetool [-bins 50] [-json] trace.json
+//
+// -json emits the summary as machine-readable JSON instead of the text
+// report.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs/analyze"
+)
+
+func main() {
+	bins := flag.Int("bins", 50, "utilization timeline bins")
+	jsonOut := flag.Bool("json", false, "emit the summary as JSON")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracetool [-bins N] [-json] trace.json")
+		os.Exit(2)
+	}
+
+	t, err := analyze.LoadChromeTraceFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(1)
+	}
+	s := analyze.Summarize(t, *bins)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			fmt.Fprintln(os.Stderr, "tracetool:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("# %s\n", flag.Arg(0))
+	s.WriteText(os.Stdout)
+}

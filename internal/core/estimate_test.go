@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/mpi"
+	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 func TestEstimateConvergenceKnownRate(t *testing.T) {
@@ -65,6 +67,34 @@ func TestEstimatePanicsOnBadInput(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// TestPredictExchangesLowerBound: the analytic exchange model books only
+// serialization, protocol occupancy, injection overhead, and latency, so
+// its prediction must never exceed the measured exchange time.
+func TestPredictExchangesLowerBound(t *testing.T) {
+	cfg := netsim.Summit(2)
+	n := [3]int{16, 16, 16}
+	opts := Options{Backend: BackendCompressed, Method: compress.Cast32{}}
+	rec := obs.New(obs.Options{Trace: true, Metrics: true})
+	MeasureWith[complex128](rec, cfg, n, opts, 1, false)
+	preds := PredictExchanges(cfg, n, opts, 16)
+	if len(preds) != 4 {
+		t.Fatalf("got %d reshape estimates, want 4", len(preds))
+	}
+	for _, est := range preds {
+		if est.Predicted <= 0 {
+			t.Errorf("%s: predicted %g, want > 0", est.Label, est.Predicted)
+		}
+		h, ok := rec.Metrics().Hist("exchange/" + est.Label + "/time_s")
+		if !ok {
+			t.Fatalf("%s: no measured exchange time recorded", est.Label)
+		}
+		if measured := h.Mean(); est.Predicted > measured*(1+1e-9) {
+			t.Errorf("%s: predicted %gs exceeds measured %gs — the model must stay a lower bound",
+				est.Label, est.Predicted, measured)
+		}
 	}
 }
 

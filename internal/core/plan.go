@@ -309,6 +309,10 @@ type reshape[C fft.Complex] struct {
 	// logicalTotal is the sum of simLogical — the uncompressed bytes this
 	// rank contributes to the wire, attributed to the exchange span.
 	logicalTotal int64
+	// metricTime is the precomputed histogram name for this reshape's
+	// measured exchange time ("exchange/<label>/time_s"), which the bench
+	// artifacts compare against the cost model's prediction.
+	metricTime string
 
 	// Byte backends.
 	sendBytes   [][]byte
@@ -329,12 +333,13 @@ func newReshape[C fft.Complex](pl *Plan[C], fromStage, toStage int, label string
 	fromOrder, toOrder := pl.orders[fromStage], pl.orders[toStage]
 	me := pl.c.Rank()
 	r := &reshape[C]{
-		pl:        pl,
-		plan:      grid.NewPlan(me, from, to),
-		fromBox:   from[me],
-		fromOrder: fromOrder,
-		toBox:     to[me],
-		toOrder:   toOrder,
+		pl:         pl,
+		plan:       grid.NewPlan(me, from, to),
+		fromBox:    from[me],
+		fromOrder:  fromOrder,
+		toBox:      to[me],
+		toOrder:    toOrder,
+		metricTime: "exchange/" + label + "/time_s",
 	}
 	p := pl.c.Size()
 	elem := pl.elemSize()
@@ -482,6 +487,7 @@ func (r *reshape[C]) execute(local []C) []C {
 	tUnpack := pl.c.Now()
 	pl.profile.Exchange += tUnpack - tExchange
 	rk.End(tUnpack, r.logicalTotal)
+	rk.Observe(r.metricTime, tUnpack-tExchange)
 	rk.Begin(obs.TrackHost, obs.PhaseUnpack, tUnpack)
 
 	// Unpack into the target layout.

@@ -110,10 +110,19 @@ func benchPayload(rank, p, count int) [][]float64 {
 // float64 values per pair on real random-like data and returns the
 // exchange time (excluding construction and warmup).
 func CompressedExchangeTime(cfg netsim.Config, method compress.Method, chunks, count, iters int, pipelined bool) float64 {
+	return CompressedExchangeTimeWith(nil, cfg, method, chunks, count, iters, pipelined)
+}
+
+// CompressedExchangeTimeWith is CompressedExchangeTime with an
+// observability recorder attached to the run (nil behaves exactly like
+// CompressedExchangeTime).
+func CompressedExchangeTimeWith(rec *obs.Recorder, cfg netsim.Config, method compress.Method, chunks, count, iters int, pipelined bool) float64 {
 	p := cfg.Ranks()
 	var start, end float64
-	mpi.Run(cfg, func(c *mpi.Comm) {
-		x := NewCompressedOSC(c, method, gpu.NewStream(gpu.V100(), c), chunks, UniformCount(count))
+	mpi.RunWith(cfg, rec, func(c *mpi.Comm) {
+		stream := gpu.NewStream(gpu.V100(), c)
+		stream.SetObserver(c.Obs())
+		x := NewCompressedOSC(c, method, stream, chunks, UniformCount(count))
 		x.Pipelined = pipelined
 		send := benchPayload(c.Rank(), p, count)
 		x.Exchange(send) // warmup

@@ -54,6 +54,10 @@ func Run(cfg netsim.Config, body func(*Comm)) netsim.Result {
 // events of netsim's Tracer stream are recorded on the same timeline.
 // A nil recorder makes RunWith identical to Run, with zero overhead.
 func RunWith(cfg netsim.Config, rec *obs.Recorder, body func(*Comm)) netsim.Result {
+	rec.SetMachine(obs.Machine{
+		Nodes: cfg.Nodes, GPUsPerNode: cfg.GPUsPerNode,
+		InterBW: cfg.InterBW, IntraBW: cfg.IntraBW, LocalBW: cfg.LocalBW,
+	})
 	if rec.Tracing() {
 		prev := cfg.Tracer
 		cfg.Tracer = func(ev netsim.TraceEvent) {
@@ -62,7 +66,9 @@ func RunWith(cfg netsim.Config, rec *obs.Recorder, body func(*Comm)) netsim.Resu
 			}
 			rec.Wire(obs.WireEvent{
 				Src: ev.Src, Dst: ev.Dst, Tag: ev.Tag, Bytes: ev.Bytes,
-				Kind: ev.Kind, Injected: ev.Injected, End: ev.End, Arrival: ev.Arrival,
+				Kind: ev.Kind, SrcNode: ev.SrcNode, DstNode: ev.DstNode,
+				Injected: ev.Injected, End: ev.End, Arrival: ev.Arrival,
+				Start: ev.Start, Ser: ev.Ser,
 			})
 		}
 	}

@@ -25,9 +25,21 @@ type TraceEvent struct {
 	Bytes         int
 	// Kind is "local", "intra", or "inter".
 	Kind string
+	// SrcNode and DstNode identify the link endpoints: an inter transfer
+	// occupies SrcNode's egress NIC and DstNode's ingress NIC, an intra
+	// transfer the shared bus of SrcNode (== DstNode).
+	SrcNode, DstNode int
 	// Injected is when the sender proceeded; End when the transfer left
 	// the path resources; Arrival when the receiver can observe it.
 	Injected, End, Arrival float64
+	// Start is when the transfer began occupying its first path resource
+	// (the egress NIC slot for inter, the bus slot for intra; Injected for
+	// local copies), and Ser is the serialization time it held each
+	// resource: an inter transfer occupies the egress for [Start,
+	// Start+Ser] and the ingress for [End−Ser, End]. Because each resource
+	// is a FIFO bandwidth server, these occupancy windows are disjoint per
+	// resource — exact utilization accounting needs no inference.
+	Start, Ser float64
 }
 
 // Stats aggregates traffic counters for a run.
@@ -335,20 +347,24 @@ func (eng *Engine) deliver(p *Proc) {
 	injected := p.clock + cfg.SendOverhead
 	srcNode, dstNode := p.node, cfg.NodeOf(req.dst)
 
-	var end, latency float64
+	var start, end, ser, latency float64
 	var kind string
 	switch {
 	case req.dst == p.rank:
-		end = injected + float64(req.bytes)/cfg.LocalBW
+		ser = float64(req.bytes) / cfg.LocalBW
+		start = injected
+		end = injected + ser
 		eng.stats.BytesLocal += int64(req.bytes)
 		kind = "local"
 	case srcNode == dstNode:
-		_, end = eng.bus[srcNode].reserve(injected, float64(req.bytes)/cfg.IntraBW+req.proto)
+		ser = float64(req.bytes)/cfg.IntraBW + req.proto
+		start, end = eng.bus[srcNode].reserve(injected, ser)
 		latency = cfg.IntraLatency
 		eng.stats.BytesIntra += int64(req.bytes)
 		kind = "intra"
 	default:
-		_, end = reservePair(&eng.egress[srcNode], &eng.ingress[dstNode], injected, float64(req.bytes)/cfg.InterBW+req.proto)
+		ser = float64(req.bytes)/cfg.InterBW + req.proto
+		start, end = reservePair(&eng.egress[srcNode], &eng.ingress[dstNode], injected, ser)
 		latency = cfg.InterLatency
 		eng.stats.BytesInter += int64(req.bytes)
 		kind = "inter"
@@ -361,7 +377,9 @@ func (eng *Engine) deliver(p *Proc) {
 	if cfg.Tracer != nil {
 		cfg.Tracer(TraceEvent{
 			Src: p.rank, Dst: req.dst, Tag: req.tag, Bytes: req.bytes,
-			Kind: kind, Injected: injected, End: end, Arrival: end + latency + req.extra,
+			Kind: kind, SrcNode: srcNode, DstNode: dstNode,
+			Injected: injected, End: end, Arrival: end + latency + req.extra,
+			Start: start, Ser: ser,
 		})
 	}
 

@@ -1,0 +1,197 @@
+// Package analyze turns a recording of the obs layer into answers: the
+// critical path through the rank-span/wire-event dependency graph (which
+// rank, phase, and link bound the end-to-end time), per-resource
+// utilization timelines (are the NICs saturated? — a number, not a
+// picture), compression/communication overlap efficiency, and
+// model-vs-measured deltas against the analytic exchange cost model.
+//
+// The package consumes either a live *obs.Recorder (FromRecorder) or a
+// Chrome-trace JSON previously written by obs.WriteChromeTrace
+// (LoadChromeTrace) — the exporter embeds the machine description and
+// the wire occupancy windows, so a saved trace is self-contained. On top
+// of the analyses sits the versioned bench-artifact schema
+// (Artifact/Row) that the benchmark drivers emit with -json and that
+// cmd/benchdiff gates regressions against.
+package analyze
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Trace is the normalized input of every analysis: per-rank spans in
+// begin order plus the shared wire-event stream and the machine's
+// resource capacities.
+type Trace struct {
+	Machine obs.Machine
+	// Spans holds each recorded rank's spans (host and GPU tracks).
+	Spans map[int][]obs.Span
+	Wire  []obs.WireEvent
+	// DroppedSpans and DroppedWire carry the recording-health counters
+	// when known (zero for loaded traces that predate them).
+	DroppedSpans, DroppedWire int64
+}
+
+// FromRecorder snapshots a recorder into an analyzable trace.
+func FromRecorder(r *obs.Recorder) *Trace {
+	t := &Trace{
+		Machine:      r.Machine(),
+		Spans:        make(map[int][]obs.Span),
+		Wire:         r.WireEvents(),
+		DroppedSpans: r.DroppedSpans(),
+		DroppedWire:  r.DroppedWire(),
+	}
+	for _, id := range r.RankIDs() {
+		t.Spans[id] = r.RankSpans(id)
+	}
+	return t
+}
+
+// Ranks returns the rank ids present in the trace, sorted.
+func (t *Trace) Ranks() []int {
+	ids := make([]int, 0, len(t.Spans))
+	for id := range t.Spans {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Extent returns the recording's virtual-time window: the minimum begin
+// and maximum end over all host spans (falling back to wire events when
+// no host spans exist). ok is false for an empty trace.
+func (t *Trace) Extent() (begin, end float64, ok bool) {
+	for _, spans := range t.Spans {
+		for _, s := range spans {
+			if s.Track != obs.TrackHost || s.End < s.Begin {
+				continue
+			}
+			if !ok || s.Begin < begin {
+				begin = s.Begin
+			}
+			if !ok || s.End > end {
+				end = s.End
+			}
+			ok = true
+		}
+	}
+	if !ok {
+		for _, ev := range t.Wire {
+			if !ok || ev.Injected < begin {
+				begin = ev.Injected
+			}
+			if !ok || ev.Arrival > end {
+				end = ev.Arrival
+			}
+			ok = true
+		}
+	}
+	return begin, end, ok
+}
+
+// hostSpans returns rank id's closed host spans sorted by begin (ties:
+// longer first, so containing spans precede contained ones).
+func (t *Trace) hostSpans(id int) []obs.Span {
+	var out []obs.Span
+	for _, s := range t.Spans[id] {
+		if s.Track == obs.TrackHost && s.End >= s.Begin {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Begin != out[j].Begin {
+			return out[i].Begin < out[j].Begin
+		}
+		return out[i].End > out[j].End
+	})
+	return out
+}
+
+// splitNesting partitions begin-sorted spans into top-level spans and
+// nested detail (spans contained in an earlier-beginning, later-ending
+// span — obs nesting is a call stack, so partial overlap cannot occur).
+func splitNesting(spans []obs.Span) (top, nested []obs.Span) {
+	maxEnd := 0.0
+	seen := false
+	for _, s := range spans {
+		if seen && s.End <= maxEnd {
+			nested = append(nested, s)
+			continue
+		}
+		top = append(top, s)
+		if !seen || s.End > maxEnd {
+			maxEnd = s.End
+		}
+		seen = true
+	}
+	return top, nested
+}
+
+// PhaseAgg aggregates one pipeline phase across ranks, extended with its
+// critical-path share.
+type PhaseAgg struct {
+	Name        string  `json:"name"`
+	MeanPerRank float64 `json:"mean_per_rank"`
+	MaxPerRank  float64 `json:"max_per_rank"`
+	Bytes       int64   `json:"bytes"`
+	// OnPath is the time this phase contributes to the critical path;
+	// Slack is how much of the worst rank's phase total is off the path
+	// (max(0, MaxPerRank − OnPath)) — time that can grow before the phase
+	// necessarily stretches the run.
+	OnPath float64 `json:"on_path"`
+	Slack  float64 `json:"slack"`
+}
+
+// phaseTotals computes per-rank pipeline-phase sums over host spans.
+func (t *Trace) phaseTotals() (agg map[obs.Phase]*PhaseAgg, ranks int) {
+	agg = make(map[obs.Phase]*PhaseAgg)
+	for _, id := range t.Ranks() {
+		var perRank [len(obs.PipelinePhases)]float64
+		hasHost := false
+		for _, s := range t.Spans[id] {
+			if s.Track != obs.TrackHost || s.End < s.Begin {
+				continue
+			}
+			hasHost = true
+			if !s.Phase.Pipeline() {
+				continue
+			}
+			for i, ph := range obs.PipelinePhases {
+				if ph == s.Phase {
+					perRank[i] += s.End - s.Begin
+				}
+			}
+			a := agg[s.Phase]
+			if a == nil {
+				a = &PhaseAgg{Name: s.Phase.String()}
+				agg[s.Phase] = a
+			}
+			a.Bytes += s.Bytes
+		}
+		if !hasHost {
+			continue
+		}
+		ranks++
+		for i, ph := range obs.PipelinePhases {
+			if perRank[i] == 0 {
+				continue
+			}
+			a := agg[ph]
+			if a == nil {
+				a = &PhaseAgg{Name: ph.String()}
+				agg[ph] = a
+			}
+			a.MeanPerRank += perRank[i] // sum for now; divided by ranks below
+			if perRank[i] > a.MaxPerRank {
+				a.MaxPerRank = perRank[i]
+			}
+		}
+	}
+	if ranks > 0 {
+		for _, a := range agg {
+			a.MeanPerRank /= float64(ranks)
+		}
+	}
+	return agg, ranks
+}

@@ -1,0 +1,282 @@
+package analyze_test
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// tracedRun records one compressed forward FFT on a 2-node Summit slice
+// — the richest trace shape: all five pipeline phases, GPU compression
+// kernels, compress-wait stalls, and traffic on every fabric level.
+func tracedRun(t *testing.T) *obs.Recorder {
+	t.Helper()
+	rec := obs.New(obs.Options{Trace: true, Metrics: true})
+	opts := core.Options{Backend: core.BackendCompressed, Method: compress.Cast32{}}
+	res := core.MeasureWith[complex128](rec, netsim.Summit(2), [3]int{16, 16, 16}, opts, 1, false)
+	if res.ForwardTime <= 0 {
+		t.Fatalf("forward time = %v", res.ForwardTime)
+	}
+	return rec
+}
+
+// TestCriticalPathSelfConsistent pins the acceptance criterion: the
+// extracted path tiles the recording's end-to-end window — contiguous
+// segments, summing to the wall time within 1%.
+func TestCriticalPathSelfConsistent(t *testing.T) {
+	tr := analyze.FromRecorder(tracedRun(t))
+	begin, end, ok := tr.Extent()
+	if !ok {
+		t.Fatal("empty trace")
+	}
+	wall := end - begin
+
+	p := analyze.CriticalPath(tr)
+	if p.BoundRank < 0 {
+		t.Fatal("no bound rank")
+	}
+	if len(p.Segments) == 0 {
+		t.Fatal("no segments")
+	}
+	if d := math.Abs(p.Duration()-wall) / wall; d > 0.01 {
+		t.Errorf("path duration %.6g vs wall %.6g: off by %.2f%%, want <1%%", p.Duration(), wall, 100*d)
+	}
+	eps := wall * 1e-9
+	var sum float64
+	for i, s := range p.Segments {
+		if s.End < s.Begin {
+			t.Fatalf("segment %d inverted: [%g, %g]", i, s.Begin, s.End)
+		}
+		sum += s.Duration()
+		if i > 0 && math.Abs(p.Segments[i-1].End-s.Begin) > eps {
+			t.Fatalf("segment %d not contiguous: prev end %.9g, begin %.9g", i, p.Segments[i-1].End, s.Begin)
+		}
+	}
+	if math.Abs(p.Segments[0].Begin-begin) > eps {
+		t.Errorf("path starts at %.9g, trace at %.9g", p.Segments[0].Begin, begin)
+	}
+	if math.Abs(p.Segments[len(p.Segments)-1].End-end) > eps {
+		t.Errorf("path ends at %.9g, trace at %.9g", p.Segments[len(p.Segments)-1].End, end)
+	}
+	if d := math.Abs(sum-wall) / wall; d > 0.01 {
+		t.Errorf("segment sum %.6g vs wall %.6g: off by %.2f%%, want <1%%", sum, wall, 100*d)
+	}
+	// A multi-node exchange-bound run must put wire time on the path.
+	if len(p.LinkSeconds()) == 0 {
+		t.Error("no wire segments on the critical path of a 2-node run")
+	}
+}
+
+// TestUtilizationBounded pins the second acceptance criterion: busy-time
+// occupancy per link bin never exceeds 100% — netsim's FIFO resources
+// guarantee disjoint occupancy windows, and the analysis must not
+// double-count them.
+func TestUtilizationBounded(t *testing.T) {
+	tr := analyze.FromRecorder(tracedRun(t))
+	res := analyze.Utilization(tr, 64)
+	if len(res) == 0 {
+		t.Fatal("no resources")
+	}
+	kinds := map[string]bool{}
+	for _, r := range res {
+		kinds[r.Kind] = true
+		if r.Mean < 0 || r.Mean > 1+1e-9 {
+			t.Errorf("%s mean occupancy %.4f out of [0,1]", r.Name, r.Mean)
+		}
+		for b, v := range r.Bins {
+			if v < 0 || v > 1+1e-9 {
+				t.Errorf("%s bin %d occupancy %.4f exceeds 100%%", r.Name, b, v)
+			}
+		}
+		if r.Peak > 1+1e-9 {
+			t.Errorf("%s peak %.4f exceeds 100%%", r.Name, r.Peak)
+		}
+		if (r.Kind == "egress" || r.Kind == "ingress" || r.Kind == "bus") && r.Capacity <= 0 {
+			t.Errorf("%s capacity missing", r.Name)
+		}
+	}
+	for _, want := range []string{"egress", "ingress", "bus", "gpu"} {
+		if !kinds[want] {
+			t.Errorf("no %s resource in %d-resource report", want, len(res))
+		}
+	}
+}
+
+// TestChromeRoundTrip: saving a trace and loading it back preserves
+// everything the analyses consume.
+func TestChromeRoundTrip(t *testing.T) {
+	rec := tracedRun(t)
+	direct := analyze.FromRecorder(rec)
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := analyze.LoadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.Machine != direct.Machine {
+		t.Errorf("machine: loaded %+v, direct %+v", loaded.Machine, direct.Machine)
+	}
+	if got, want := len(loaded.Wire), len(direct.Wire); got != want {
+		t.Errorf("wire events: loaded %d, direct %d", got, want)
+	}
+	if got, want := len(loaded.Ranks()), len(direct.Ranks()); got != want {
+		t.Errorf("ranks: loaded %d, direct %d", got, want)
+	}
+	db, de, _ := direct.Extent()
+	lb, le, ok := loaded.Extent()
+	if !ok {
+		t.Fatal("loaded trace empty")
+	}
+	// Timestamps round-trip through microseconds; allow float slop.
+	if math.Abs(lb-db) > 1e-9 || math.Abs(le-de) > 1e-9 {
+		t.Errorf("extent: loaded [%g, %g], direct [%g, %g]", lb, le, db, de)
+	}
+	dp, lp := analyze.CriticalPath(direct), analyze.CriticalPath(loaded)
+	if wall := de - db; math.Abs(dp.Duration()-lp.Duration()) > 0.001*wall {
+		t.Errorf("critical path: loaded %.6g, direct %.6g", lp.Duration(), dp.Duration())
+	}
+}
+
+// TestSummarize checks the digest is coherent: pipeline phases present,
+// on-path attribution bounded by wall, overlap present for a pipelined
+// compressed run.
+func TestSummarize(t *testing.T) {
+	tr := analyze.FromRecorder(tracedRun(t))
+	s := analyze.Summarize(tr, 32)
+	if s.Ranks != 12 {
+		t.Errorf("ranks = %d, want 12", s.Ranks)
+	}
+	if s.WallSeconds <= 0 {
+		t.Fatal("no wall time")
+	}
+	var pathSum float64
+	for _, v := range s.PathSeconds {
+		pathSum += v
+	}
+	if d := math.Abs(pathSum-s.WallSeconds) / s.WallSeconds; d > 0.01 {
+		t.Errorf("path decomposition sums to %.6g, wall %.6g", pathSum, s.WallSeconds)
+	}
+	seen := map[string]bool{}
+	for _, p := range s.Phases {
+		seen[p.Name] = true
+		if p.OnPath < 0 || p.OnPath > s.WallSeconds*(1+1e-9) {
+			t.Errorf("phase %s on-path %.6g out of [0, wall]", p.Name, p.OnPath)
+		}
+		if p.Slack < 0 {
+			t.Errorf("phase %s slack %.6g negative", p.Name, p.Slack)
+		}
+	}
+	for _, want := range []string{"pack", "exchange", "unpack", "fft"} {
+		if !seen[want] {
+			t.Errorf("phase %s missing from summary", want)
+		}
+	}
+	if s.Overlap == nil {
+		t.Fatal("no overlap stat for a compressed run")
+	}
+	if e := s.Overlap.Efficiency; e < 0 || e > 1 {
+		t.Errorf("overlap efficiency %.3f out of [0,1]", e)
+	}
+	if s.Overlap.KernelSeconds <= 0 {
+		t.Error("no compression kernel time")
+	}
+	var text bytes.Buffer
+	s.WriteText(&text)
+	if text.Len() == 0 {
+		t.Error("empty text report")
+	}
+}
+
+// TestDiffGate pins the benchdiff acceptance criterion: identical
+// artifacts pass, a >=10% injected regression fails.
+func TestDiffGate(t *testing.T) {
+	base := &analyze.Artifact{
+		Tool: "fftbench",
+		Rows: []analyze.Row{
+			{Name: "fp64", GPUs: 12, Seconds: 0.010, Gflops: 100},
+			{Name: "fp64-32", GPUs: 12, Seconds: 0.008, Gflops: 125, MaxError: 1e-7},
+			{Name: "osc", GPUs: 24, NodeBW: 1.5e10},
+		},
+	}
+	same := *base
+	if d := analyze.Diff(base, &same, 0.10); d.Regressed() {
+		t.Errorf("identical artifacts regressed: %+v", d)
+	}
+
+	slower := *base
+	slower.Rows = append([]analyze.Row(nil), base.Rows...)
+	slower.Rows[0].Seconds = base.Rows[0].Seconds * 1.12 // +12% > 10% gate
+	d := analyze.Diff(base, &slower, 0.10)
+	if !d.Regressed() {
+		t.Fatal("12% slowdown passed the 10% gate")
+	}
+	if len(d.Regressions) != 1 || d.Regressions[0].Metric != "seconds" {
+		t.Errorf("regressions = %+v, want one seconds line", d.Regressions)
+	}
+
+	lessBW := *base
+	lessBW.Rows = append([]analyze.Row(nil), base.Rows...)
+	lessBW.Rows[2].NodeBW = base.Rows[2].NodeBW * 0.85 // -15% bandwidth
+	if d := analyze.Diff(base, &lessBW, 0.10); !d.Regressed() {
+		t.Error("15% bandwidth loss passed the 10% gate")
+	}
+
+	faster := *base
+	faster.Rows = append([]analyze.Row(nil), base.Rows...)
+	faster.Rows[0].Seconds = base.Rows[0].Seconds * 0.80
+	if d := analyze.Diff(base, &faster, 0.10); d.Regressed() {
+		t.Error("improvement flagged as regression")
+	} else if len(d.Improvements) != 1 {
+		t.Errorf("improvements = %+v, want one", d.Improvements)
+	}
+
+	missing := *base
+	missing.Rows = base.Rows[:2] // osc/24 gone
+	if d := analyze.Diff(base, &missing, 0.10); !d.Regressed() {
+		t.Error("missing row passed the gate")
+	}
+}
+
+// TestArtifactRoundTrip: write, load, schema validation.
+func TestArtifactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	a := &analyze.Artifact{
+		Tool:    "alltoallbench",
+		Config:  map[string]string{"msg": "65536"},
+		Machine: obs.Machine{Nodes: 2, GPUsPerNode: 6, InterBW: 2.5e10},
+		Rows:    []analyze.Row{{Name: "linear", GPUs: 12, NodeBW: 1e10}},
+	}
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := analyze.LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != analyze.ArtifactSchema || got.Tool != a.Tool || len(got.Rows) != 1 ||
+		got.Rows[0].Name != a.Rows[0].Name || got.Rows[0].NodeBW != a.Rows[0].NodeBW ||
+		got.Machine != a.Machine {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+
+	stale := filepath.Join(dir, "stale.json")
+	if err := os.WriteFile(stale, []byte(`{"schema": 99, "tool": "fftbench", "rows": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analyze.LoadArtifact(stale); err == nil {
+		t.Error("schema-99 artifact accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// ArtifactSchema is the current bench-artifact schema version. Loaders
+// reject other versions so a silent format drift cannot masquerade as a
+// performance change.
+const ArtifactSchema = 1
+
+// Artifact is the machine-readable result of one benchmark run: the
+// configuration it ran under, one Row per measured configuration, and
+// (optionally) the analyze summaries. All times are virtual seconds from
+// the simulator, so artifacts are deterministic and diffable.
+type Artifact struct {
+	Schema int    `json:"schema"`
+	Tool   string `json:"tool"` // "fftbench" or "alltoallbench"
+	// Config snapshots the driver flags that shaped the run.
+	Config  map[string]string `json:"config,omitempty"`
+	Machine obs.Machine       `json:"machine,omitempty"`
+	Rows    []Row             `json:"rows"`
+}
+
+// Row is one measured configuration.
+type Row struct {
+	Name string `json:"name"` // configuration/algorithm name
+	GPUs int    `json:"gpus"`
+	// Seconds is the end-to-end virtual time per iteration (lower is
+	// better); Gflops the derived rate. NodeBW is the achieved per-node
+	// exchange bandwidth in bytes/s (higher is better; alltoallbench).
+	Seconds float64 `json:"seconds,omitempty"`
+	Gflops  float64 `json:"gflops,omitempty"`
+	NodeBW  float64 `json:"node_bw,omitempty"`
+	// MaxError is the measured worst-case relative error for lossy
+	// configurations.
+	MaxError    float64          `json:"max_error,omitempty"`
+	Compression []CompressionRow `json:"compression,omitempty"`
+	// Model compares each reshape's measured exchange time against the
+	// analytic cost model.
+	Model []ModelDelta `json:"model,omitempty"`
+	// Analysis is the trace summary (critical path, utilization,
+	// overlap) when the run was traced.
+	Analysis *Summary `json:"analysis,omitempty"`
+}
+
+// CompressionRow is the achieved compression of one labelled exchange.
+type CompressionRow struct {
+	Label      string  `json:"label"`
+	RawBytes   int64   `json:"raw_bytes"`
+	WireBytes  int64   `json:"wire_bytes"`
+	Ratio      float64 `json:"ratio"`
+	ErrorBound float64 `json:"error_bound,omitempty"`
+}
+
+// ModelDelta is measured vs modeled time for one reshape.
+type ModelDelta struct {
+	Label     string  `json:"label"`
+	Measured  float64 `json:"measured_s"`
+	Predicted float64 `json:"predicted_s"`
+	// Ratio is Measured/Predicted: the model is a lower bound, so ratios
+	// sit at or above 1; growth over time means new overhead appeared.
+	Ratio float64 `json:"ratio"`
+}
+
+// CompressionRows converts the metric registry's compression stats.
+func CompressionRows(stats []obs.CompressionStat) []CompressionRow {
+	if len(stats) == 0 {
+		return nil
+	}
+	out := make([]CompressionRow, len(stats))
+	for i, s := range stats {
+		out[i] = CompressionRow{
+			Label: s.Label, RawBytes: s.RawBytes, WireBytes: s.WireBytes,
+			Ratio: s.Ratio(), ErrorBound: s.ErrorBound,
+		}
+	}
+	return out
+}
+
+// WriteFile writes the artifact as indented, key-stable JSON.
+func (a *Artifact) WriteFile(path string) error {
+	a.Schema = ArtifactSchema
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadArtifact reads and validates a bench artifact.
+func LoadArtifact(path string) (*Artifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("analyze: parsing artifact %s: %w", path, err)
+	}
+	if a.Schema != ArtifactSchema {
+		return nil, fmt.Errorf("analyze: artifact %s has schema %d, want %d", path, a.Schema, ArtifactSchema)
+	}
+	return &a, nil
+}

@@ -1,0 +1,113 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// chromeFile mirrors the JSON written by obs.WriteChromeTrace: the
+// standard Trace Event Format keys plus the custom "machine" key the
+// exporter embeds so a saved trace is self-describing.
+type chromeFile struct {
+	Machine     obs.Machine   `json:"machine"`
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+type wireArgs struct {
+	Bytes     int     `json:"bytes"`
+	Dst       int     `json:"dst"`
+	Tag       int     `json:"tag"`
+	SrcNode   int     `json:"src_node"`
+	DstNode   int     `json:"dst_node"`
+	ArrivalUs float64 `json:"arrival_us"`
+	StartUs   float64 `json:"start_us"`
+	SerUs     float64 `json:"ser_us"`
+}
+
+type spanArgs struct {
+	Bytes int64 `json:"bytes"`
+}
+
+// LoadChromeTrace reads a trace previously saved with -trace (the
+// Chrome Trace Event Format JSON written by obs.WriteChromeTrace) back
+// into an analyzable Trace. Only complete ("X") events are considered;
+// the category distinguishes host spans, GPU spans, and wire transfers.
+func LoadChromeTrace(r io.Reader) (*Trace, error) {
+	var f chromeFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("analyze: parsing chrome trace: %w", err)
+	}
+	t := &Trace{Machine: f.Machine, Spans: make(map[int][]obs.Span)}
+	const us = 1e-6
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		switch ev.Cat {
+		case "host", "gpu":
+			ph, ok := obs.ParsePhase(ev.Name)
+			if !ok {
+				continue
+			}
+			track := obs.TrackHost
+			if ev.Cat == "gpu" {
+				track = obs.TrackGPU
+			}
+			var a spanArgs
+			if len(ev.Args) > 0 {
+				json.Unmarshal(ev.Args, &a)
+			}
+			t.Spans[ev.Pid] = append(t.Spans[ev.Pid], obs.Span{
+				Phase: ph, Track: track,
+				Begin: ev.Ts * us, End: (ev.Ts + ev.Dur) * us,
+				Bytes: a.Bytes,
+			})
+		case "wire":
+			var a wireArgs
+			if len(ev.Args) > 0 {
+				if err := json.Unmarshal(ev.Args, &a); err != nil {
+					return nil, fmt.Errorf("analyze: wire event args: %w", err)
+				}
+			}
+			t.Wire = append(t.Wire, obs.WireEvent{
+				Src: ev.Pid, Dst: a.Dst, Tag: a.Tag, Bytes: a.Bytes, Kind: ev.Name,
+				SrcNode: a.SrcNode, DstNode: a.DstNode,
+				Injected: ev.Ts * us, End: (ev.Ts + ev.Dur) * us,
+				Arrival: a.ArrivalUs * us,
+				Start:   a.StartUs * us, Ser: a.SerUs * us,
+			})
+		}
+	}
+	for id := range t.Spans {
+		spans := t.Spans[id]
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Begin < spans[j].Begin })
+	}
+	return t, nil
+}
+
+// LoadChromeTraceFile is LoadChromeTrace on a file path.
+func LoadChromeTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadChromeTrace(f)
+}

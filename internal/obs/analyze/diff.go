@@ -1,0 +1,113 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+)
+
+// DiffLine is one metric's change between two artifacts. Delta is the
+// relative worsening: positive means the new run is worse (slower, or
+// less bandwidth), independent of the metric's direction.
+type DiffLine struct {
+	Row    string  // "name/gpus"
+	Metric string  // "seconds", "node_bw", "max_error"
+	Old    float64
+	New    float64
+	Delta  float64
+}
+
+// DiffResult is the outcome of comparing a new artifact against a
+// baseline.
+type DiffResult struct {
+	Threshold    float64
+	Regressions  []DiffLine
+	Improvements []DiffLine
+	Unchanged    int
+	// Missing lists baseline rows absent from the new artifact (treated
+	// as regressions: a configuration silently disappearing from the
+	// bench must fail the gate). Added lists new rows with no baseline.
+	Missing []string
+	Added   []string
+}
+
+// Regressed reports whether the gate should fail.
+func (d DiffResult) Regressed() bool {
+	return len(d.Regressions) > 0 || len(d.Missing) > 0
+}
+
+// Diff compares two artifacts row by row (matched on name and GPU
+// count). A metric regresses when its relative worsening exceeds
+// threshold (e.g. 0.1 = 10%). Seconds and MaxError are lower-is-better;
+// NodeBW is higher-is-better. Metrics absent (zero) on either side are
+// skipped — a baseline without model rows does not gate them.
+func Diff(oldA, newA *Artifact, threshold float64) DiffResult {
+	d := DiffResult{Threshold: threshold}
+	type key struct {
+		name string
+		gpus int
+	}
+	newRows := make(map[key]Row, len(newA.Rows))
+	for _, r := range newA.Rows {
+		newRows[key{r.Name, r.GPUs}] = r
+	}
+	seen := make(map[key]bool, len(oldA.Rows))
+	for _, or := range oldA.Rows {
+		k := key{or.Name, or.GPUs}
+		seen[k] = true
+		nr, ok := newRows[k]
+		if !ok {
+			d.Missing = append(d.Missing, rowName(or))
+			continue
+		}
+		compare := func(metric string, o, n float64, lowerBetter bool) {
+			if o <= 0 || n <= 0 {
+				return
+			}
+			delta := (n - o) / o
+			if !lowerBetter {
+				delta = (o - n) / o
+			}
+			line := DiffLine{Row: rowName(or), Metric: metric, Old: o, New: n, Delta: delta}
+			switch {
+			case delta > threshold:
+				d.Regressions = append(d.Regressions, line)
+			case delta < -threshold:
+				d.Improvements = append(d.Improvements, line)
+			default:
+				d.Unchanged++
+			}
+		}
+		compare("seconds", or.Seconds, nr.Seconds, true)
+		compare("node_bw", or.NodeBW, nr.NodeBW, false)
+		compare("max_error", or.MaxError, nr.MaxError, true)
+	}
+	for _, r := range newA.Rows {
+		if !seen[key{r.Name, r.GPUs}] {
+			d.Added = append(d.Added, rowName(r))
+		}
+	}
+	return d
+}
+
+func rowName(r Row) string { return fmt.Sprintf("%s/%d", r.Name, r.GPUs) }
+
+// WriteText prints the diff outcome for the console.
+func (d DiffResult) WriteText(w io.Writer) {
+	for _, l := range d.Regressions {
+		fmt.Fprintf(w, "REGRESSION %-24s %-9s %.4g -> %.4g (%+.1f%%, threshold %.0f%%)\n",
+			l.Row, l.Metric, l.Old, l.New, 100*l.Delta, 100*d.Threshold)
+	}
+	for _, m := range d.Missing {
+		fmt.Fprintf(w, "REGRESSION %-24s missing from new artifact\n", m)
+	}
+	for _, l := range d.Improvements {
+		fmt.Fprintf(w, "improved   %-24s %-9s %.4g -> %.4g (%+.1f%%)\n",
+			l.Row, l.Metric, l.Old, l.New, -100*l.Delta)
+	}
+	for _, a := range d.Added {
+		fmt.Fprintf(w, "added      %-24s (no baseline)\n", a)
+	}
+	if !d.Regressed() && len(d.Improvements) == 0 {
+		fmt.Fprintf(w, "no change beyond %.0f%% across %d comparisons\n", 100*d.Threshold, d.Unchanged)
+	}
+}

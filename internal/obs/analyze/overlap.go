@@ -1,0 +1,46 @@
+package analyze
+
+import "repro/internal/obs"
+
+// OverlapStat measures how well the pipelined compressed exchange hides
+// its GPU (de)compression kernels under communication. KernelSeconds is
+// total GPU compress+decompress kernel time; ExposedSeconds is the host
+// time spent blocked waiting on those kernels (the compress-wait spans);
+// the difference is the kernel time that ran under puts for free.
+type OverlapStat struct {
+	KernelSeconds  float64 `json:"kernel_s"`
+	ExposedSeconds float64 `json:"exposed_s"`
+	HiddenSeconds  float64 `json:"hidden_s"`
+	// Efficiency is HiddenSeconds/KernelSeconds: 1 means fully hidden,
+	// 0 means every kernel second stalled the host.
+	Efficiency float64 `json:"efficiency"`
+}
+
+// Overlap computes the compression/communication overlap of the trace.
+// ok is false when the trace has no compression kernels (nothing to
+// hide, so no meaningful efficiency).
+func Overlap(t *Trace) (OverlapStat, bool) {
+	var o OverlapStat
+	for _, id := range t.Ranks() {
+		for _, s := range t.Spans[id] {
+			if s.End <= s.Begin {
+				continue
+			}
+			switch {
+			case s.Track == obs.TrackGPU && (s.Phase == obs.PhaseCompress || s.Phase == obs.PhaseDecompress):
+				o.KernelSeconds += s.End - s.Begin
+			case s.Track == obs.TrackHost && s.Phase == obs.PhaseCompressWait:
+				o.ExposedSeconds += s.End - s.Begin
+			}
+		}
+	}
+	if o.KernelSeconds == 0 {
+		return o, false
+	}
+	o.HiddenSeconds = o.KernelSeconds - o.ExposedSeconds
+	if o.HiddenSeconds < 0 {
+		o.HiddenSeconds = 0
+	}
+	o.Efficiency = o.HiddenSeconds / o.KernelSeconds
+	return o, true
+}

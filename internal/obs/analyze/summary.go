@@ -1,0 +1,180 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Summary is the machine-readable digest of one trace: the phase
+// breakdown with critical-path attribution, the per-resource
+// utilization, and the overlap efficiency. It is what tracetool prints
+// and what bench artifacts embed.
+type Summary struct {
+	WallSeconds float64 `json:"wall_s"`
+	Ranks       int     `json:"ranks"`
+	// BoundRank is the rank whose final span ends the run (-1 when the
+	// trace has no host spans).
+	BoundRank int        `json:"bound_rank"`
+	Phases    []PhaseAgg `json:"phases"`
+	// PathSeconds decomposes the critical path by innermost attribution:
+	// phase names, "wire inter"/"wire intra"/"wire local", and "idle".
+	// The values sum to WallSeconds.
+	PathSeconds map[string]float64 `json:"path_seconds"`
+	// TopLinks are the concrete links on the critical path, worst first.
+	TopLinks  []LinkShare  `json:"top_links,omitempty"`
+	Resources []Resource   `json:"resources,omitempty"`
+	Overlap   *OverlapStat `json:"overlap,omitempty"`
+
+	DroppedSpans int64 `json:"dropped_spans,omitempty"`
+	DroppedWire  int64 `json:"dropped_wire,omitempty"`
+}
+
+// LinkShare is one link's share of the critical path.
+type LinkShare struct {
+	Link    string  `json:"link"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Summarize runs every analysis over the trace. bins controls the
+// utilization timeline resolution (<= 0 selects the default).
+func Summarize(t *Trace, bins int) Summary {
+	s := Summary{BoundRank: -1, DroppedSpans: t.DroppedSpans, DroppedWire: t.DroppedWire}
+	begin, end, ok := t.Extent()
+	if !ok {
+		return s
+	}
+	s.WallSeconds = end - begin
+
+	path := CriticalPath(t)
+	s.BoundRank = path.BoundRank
+	s.PathSeconds = path.PhaseSeconds()
+
+	onPath := make(map[obs.Phase]float64)
+	for _, seg := range path.Segments {
+		if seg.Kind == SegSpan {
+			onPath[seg.Top] += seg.Duration()
+		}
+	}
+	agg, ranks := t.phaseTotals()
+	s.Ranks = ranks
+	for _, ph := range obs.PipelinePhases {
+		a := agg[ph]
+		if a == nil {
+			continue
+		}
+		a.OnPath = onPath[ph]
+		a.Slack = a.MaxPerRank - a.OnPath
+		if a.Slack < 0 {
+			a.Slack = 0
+		}
+		s.Phases = append(s.Phases, *a)
+	}
+
+	for link, sec := range path.LinkSeconds() {
+		s.TopLinks = append(s.TopLinks, LinkShare{Link: link, Seconds: sec})
+	}
+	sort.Slice(s.TopLinks, func(i, j int) bool {
+		if s.TopLinks[i].Seconds != s.TopLinks[j].Seconds {
+			return s.TopLinks[i].Seconds > s.TopLinks[j].Seconds
+		}
+		return s.TopLinks[i].Link < s.TopLinks[j].Link
+	})
+
+	s.Resources = Utilization(t, bins)
+	if o, ok := Overlap(t); ok {
+		s.Overlap = &o
+	}
+	return s
+}
+
+// WriteText prints the summary as the human-readable tracetool report.
+func (s Summary) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "wall %.3fms over %d ranks", s.WallSeconds*1e3, s.Ranks)
+	if s.BoundRank >= 0 {
+		fmt.Fprintf(w, " (run ends on rank %d)", s.BoundRank)
+	}
+	fmt.Fprintln(w)
+
+	if len(s.Phases) > 0 {
+		fmt.Fprintln(w, "phase breakdown with critical-path attribution")
+		fmt.Fprintf(w, "  %-10s %12s %12s %12s %12s\n", "phase", "mean/rank", "max/rank", "on-path", "slack")
+		for _, p := range s.Phases {
+			fmt.Fprintf(w, "  %-10s %10.3fms %10.3fms %10.3fms %10.3fms\n",
+				p.Name, p.MeanPerRank*1e3, p.MaxPerRank*1e3, p.OnPath*1e3, p.Slack*1e3)
+		}
+	}
+
+	if len(s.PathSeconds) > 0 {
+		fmt.Fprintln(w, "critical path decomposition")
+		type kv struct {
+			k string
+			v float64
+		}
+		var items []kv
+		for k, v := range s.PathSeconds {
+			items = append(items, kv{k, v})
+		}
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].v != items[j].v {
+				return items[i].v > items[j].v
+			}
+			return items[i].k < items[j].k
+		})
+		for _, it := range items {
+			share := 0.0
+			if s.WallSeconds > 0 {
+				share = it.v / s.WallSeconds
+			}
+			fmt.Fprintf(w, "  %-16s %10.3fms %6.1f%%\n", it.k, it.v*1e3, 100*share)
+		}
+	}
+	if len(s.TopLinks) > 0 {
+		fmt.Fprintln(w, "links on the critical path")
+		for _, l := range s.TopLinks {
+			fmt.Fprintf(w, "  %-24s %10.3fms\n", l.Link, l.Seconds*1e3)
+		}
+	}
+
+	if len(s.Resources) > 0 {
+		fmt.Fprintln(w, "resource utilization (busy-time occupancy)")
+		fmt.Fprintf(w, "  %-16s %6s %6s %12s %12s  %s\n", "resource", "mean", "peak", "busy", "max idle", "timeline")
+		for _, r := range s.Resources {
+			fmt.Fprintf(w, "  %-16s %5.1f%% %5.1f%% %10.3fms %10.3fms  %s\n",
+				r.Name, 100*r.Mean, 100*r.Peak, r.BusySeconds*1e3, r.LongestIdle*1e3, sparkline(r.Bins))
+		}
+	}
+
+	if s.Overlap != nil {
+		o := s.Overlap
+		fmt.Fprintf(w, "compression overlap: %.1f%% hidden (%.3fms kernels, %.3fms exposed as compress-wait)\n",
+			100*o.Efficiency, o.KernelSeconds*1e3, o.ExposedSeconds*1e3)
+	}
+	if s.DroppedSpans > 0 || s.DroppedWire > 0 {
+		fmt.Fprintf(w, "warning: recording dropped %d spans, %d wire events; analyses undercount\n",
+			s.DroppedSpans, s.DroppedWire)
+	}
+}
+
+// sparkline renders a bin timeline as one character per bin.
+func sparkline(bins []float64) string {
+	if len(bins) == 0 {
+		return ""
+	}
+	const ramp = " .:-=+*#%@"
+	var b strings.Builder
+	for _, v := range bins {
+		i := int(v * float64(len(ramp)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ramp) {
+			i = len(ramp) - 1
+		}
+		b.WriteByte(ramp[i])
+	}
+	return b.String()
+}

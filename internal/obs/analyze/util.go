@@ -1,0 +1,162 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Resource is one shared resource's utilization over the recording
+// window: a node NIC direction, a node bus, or a rank's GPU stream.
+// Utilization is busy-time occupancy — the fraction of each bin the
+// resource held at least one reservation. Because netsim's resources are
+// FIFO bandwidth servers, link occupancy windows are disjoint and the
+// fraction cannot exceed 1 unless the trace is corrupt.
+type Resource struct {
+	Name     string  `json:"name"` // "node0 egress", "node1 bus", "rank3 gpu"
+	Kind     string  `json:"kind"` // "egress", "ingress", "bus", "gpu"
+	Index    int     `json:"index"`
+	Capacity float64 `json:"capacity,omitempty"` // bytes/s (0 for GPU streams)
+	// Bytes is the payload moved through the resource (kernel bytes for
+	// GPU streams, where known).
+	Bytes int64 `json:"bytes"`
+	// BusySeconds is total occupied time; Mean is BusySeconds over the
+	// recording window; Peak is the highest single-bin occupancy.
+	BusySeconds float64 `json:"busy_s"`
+	Mean        float64 `json:"mean"`
+	Peak        float64 `json:"peak"`
+	// LongestIdle is the longest unoccupied stretch inside the window.
+	LongestIdle float64 `json:"longest_idle_s"`
+	// Bins is the per-bin occupancy timeline (text report only).
+	Bins []float64 `json:"-"`
+}
+
+type interval struct {
+	begin, end float64
+	bytes      int64
+}
+
+// Utilization computes every resource's occupancy timeline over the
+// trace extent, split into bins equal intervals (bins <= 0 selects 50).
+// Resources are ordered egress/ingress/bus by node, then GPU by rank;
+// resources that never saw traffic are included with zero occupancy when
+// the machine description is present, so saturation and idleness are
+// both visible.
+func Utilization(t *Trace, bins int) []Resource {
+	if bins <= 0 {
+		bins = 50
+	}
+	start, end, ok := t.Extent()
+	if !ok || end <= start {
+		return nil
+	}
+
+	occ := make(map[string][]interval)
+	add := func(key string, begin, endt float64, bytes int64) {
+		occ[key] = append(occ[key], interval{begin, endt, bytes})
+	}
+	for _, ev := range t.Wire {
+		switch ev.Kind {
+		case "inter":
+			add(fmt.Sprintf("egress/%d", ev.SrcNode), ev.Start, ev.Start+ev.Ser, int64(ev.Bytes))
+			add(fmt.Sprintf("ingress/%d", ev.DstNode), ev.End-ev.Ser, ev.End, int64(ev.Bytes))
+		case "intra":
+			add(fmt.Sprintf("bus/%d", ev.SrcNode), ev.Start, ev.Start+ev.Ser, int64(ev.Bytes))
+		}
+	}
+	gpuRanks := make(map[int]bool)
+	for _, id := range t.Ranks() {
+		for _, s := range t.Spans[id] {
+			if s.Track != obs.TrackGPU || s.End <= s.Begin {
+				continue
+			}
+			gpuRanks[id] = true
+			add(fmt.Sprintf("gpu/%d", id), s.Begin, s.End, s.Bytes)
+		}
+	}
+
+	m := t.Machine
+	var out []Resource
+	emit := func(kind string, idx int, name string, cap float64) {
+		r := Resource{Name: name, Kind: kind, Index: idx, Capacity: cap, Bins: make([]float64, bins)}
+		ivs := occ[kind+"/"+fmt.Sprint(idx)]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].begin < ivs[j].begin })
+		width := (end - start) / float64(bins)
+		idleFrom := start
+		for _, iv := range ivs {
+			lo, hi := iv.begin, iv.end
+			if lo < start {
+				lo = start
+			}
+			if hi > end {
+				hi = end
+			}
+			if hi <= lo {
+				continue
+			}
+			r.Bytes += iv.bytes
+			r.BusySeconds += hi - lo
+			if gap := lo - idleFrom; gap > r.LongestIdle {
+				r.LongestIdle = gap
+			}
+			if hi > idleFrom {
+				idleFrom = hi
+			}
+			b0 := int((lo - start) / width)
+			b1 := int((hi - start) / width)
+			if b1 >= bins {
+				b1 = bins - 1
+			}
+			for b := b0; b <= b1; b++ {
+				blo, bhi := start+float64(b)*width, start+float64(b+1)*width
+				if blo < lo {
+					blo = lo
+				}
+				if bhi > hi {
+					bhi = hi
+				}
+				if bhi > blo {
+					r.Bins[b] += (bhi - blo) / width
+				}
+			}
+		}
+		if gap := end - idleFrom; gap > r.LongestIdle {
+			r.LongestIdle = gap
+		}
+		r.Mean = r.BusySeconds / (end - start)
+		for _, v := range r.Bins {
+			if v > r.Peak {
+				r.Peak = v
+			}
+		}
+		out = append(out, r)
+	}
+
+	nodes := m.Nodes
+	if nodes == 0 {
+		// No machine description: infer node count from the traffic seen.
+		for _, ev := range t.Wire {
+			if ev.SrcNode >= nodes {
+				nodes = ev.SrcNode + 1
+			}
+			if ev.DstNode >= nodes {
+				nodes = ev.DstNode + 1
+			}
+		}
+	}
+	for nd := 0; nd < nodes; nd++ {
+		emit("egress", nd, fmt.Sprintf("node%d egress", nd), m.InterBW)
+		emit("ingress", nd, fmt.Sprintf("node%d ingress", nd), m.InterBW)
+		emit("bus", nd, fmt.Sprintf("node%d bus", nd), m.IntraBW)
+	}
+	ranks := make([]int, 0, len(gpuRanks))
+	for id := range gpuRanks {
+		ranks = append(ranks, id)
+	}
+	sort.Ints(ranks)
+	for _, id := range ranks {
+		emit("gpu", id, fmt.Sprintf("rank%d gpu", id), 0)
+	}
+	return out
+}

@@ -81,7 +81,9 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 				Tid:  tidWire,
 				Args: map[string]any{
 					"bytes": ev.Bytes, "dst": ev.Dst, "tag": ev.Tag,
+					"src_node": ev.SrcNode, "dst_node": ev.DstNode,
 					"arrival_us": ev.Arrival * 1e6,
+					"start_us":   ev.Start * 1e6, "ser_us": ev.Ser * 1e6,
 				},
 			})
 		}
@@ -120,7 +122,24 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	}
 
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\","); err != nil {
+		return err
+	}
+	// The machine description rides along as a custom top-level key
+	// (ignored by chrome://tracing, read back by the analyze loader) so a
+	// saved trace carries the capacities utilization is measured against.
+	if r != nil {
+		if m := r.Machine(); m.Nodes > 0 {
+			b, err := json.Marshal(m)
+			if err != nil {
+				return err
+			}
+			if _, err := bw.WriteString("\"machine\":" + string(b) + ","); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\"traceEvents\":[\n"); err != nil {
 		return err
 	}
 	first := true

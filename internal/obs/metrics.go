@@ -112,11 +112,15 @@ func (m *Metrics) Gauge(name string) (float64, bool) {
 	return v, ok
 }
 
-// HistStat summarizes one histogram.
+// HistStat summarizes one histogram. The quantiles are estimated from
+// the power-of-two buckets (geometric bucket midpoints, clamped to the
+// observed [Min, Max]), so they carry at most a factor-√2 resolution —
+// enough to tell a tail from a shifted median.
 type HistStat struct {
-	Count    int64
-	Sum      float64
-	Min, Max float64
+	Count         int64
+	Sum           float64
+	Min, Max      float64
+	P50, P95, P99 float64
 }
 
 // Mean returns the sample mean (0 when empty).
@@ -125,6 +129,39 @@ func (s HistStat) Mean() float64 {
 		return 0
 	}
 	return s.Sum / float64(s.Count)
+}
+
+// quantile estimates the q-quantile (0 < q ≤ 1) from the buckets.
+func (h *hist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum < target {
+			continue
+		}
+		var v float64
+		if i == 0 {
+			// Bucket 0 collects non-positive and sub-2^-31 samples.
+			v = h.min
+		} else {
+			v = math.Exp2(float64(i-32)) * math.Sqrt2 // geometric midpoint
+		}
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		return v
+	}
+	return h.max
 }
 
 // Hist returns a histogram's summary and whether it exists.
@@ -138,7 +175,10 @@ func (m *Metrics) Hist(name string) (HistStat, bool) {
 	if !ok {
 		return HistStat{}, false
 	}
-	return HistStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}, true
+	return HistStat{
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		P50: h.quantile(0.50), P95: h.quantile(0.95), P99: h.quantile(0.99),
+	}, true
 }
 
 // CounterNames returns all counter names, sorted.

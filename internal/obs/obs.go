@@ -52,6 +52,17 @@ func (p Phase) String() string {
 	return "unknown"
 }
 
+// ParsePhase maps a report/trace name back to its Phase (the inverse of
+// String), used when reloading a saved Chrome trace.
+func ParsePhase(s string) (Phase, bool) {
+	for i, n := range phaseNames {
+		if n == s {
+			return Phase(i), true
+		}
+	}
+	return 0, false
+}
+
 // PipelinePhases are the top-level phases that partition a rank's
 // timeline; their per-rank durations sum to (nearly) the wall time.
 var PipelinePhases = [5]Phase{PhasePack, PhaseExchange, PhaseUnpack, PhaseFFT, PhaseScale}
@@ -84,8 +95,28 @@ type WireEvent struct {
 	Src, Dst, Tag int
 	Bytes         int
 	Kind          string // "local", "intra", or "inter"
-	Injected, End float64
-	Arrival       float64
+	// SrcNode and DstNode identify the link: an inter transfer occupies
+	// SrcNode's egress NIC and DstNode's ingress NIC; an intra transfer
+	// the bus of SrcNode.
+	SrcNode, DstNode int
+	Injected, End    float64
+	Arrival          float64
+	// Start is when the transfer began occupying its first path resource
+	// and Ser the serialization time it held each resource (egress busy
+	// [Start, Start+Ser], ingress busy [End−Ser, End]); per resource these
+	// windows are disjoint, so utilization sums stay exact.
+	Start, Ser float64
+}
+
+// Machine describes the simulated machine's resource capacities — just
+// enough of the netsim config for utilization analysis, recorded here so
+// a saved trace stays self-describing (obs must not import netsim).
+type Machine struct {
+	Nodes       int     `json:"nodes"`
+	GPUsPerNode int     `json:"gpus_per_node"`
+	InterBW     float64 `json:"inter_bw"` // bytes/s per node NIC direction
+	IntraBW     float64 `json:"intra_bw"` // bytes/s per node bus
+	LocalBW     float64 `json:"local_bw"` // bytes/s device-local copies
 }
 
 // Options configures a Recorder.
@@ -118,6 +149,7 @@ type Recorder struct {
 	ranks       []*Rank
 	wire        []WireEvent
 	wireDropped int64
+	machine     Machine
 
 	metrics *Metrics
 }
@@ -140,6 +172,28 @@ func New(o Options) *Recorder {
 
 // Tracing reports whether span recording is enabled.
 func (r *Recorder) Tracing() bool { return r != nil && r.traceOn }
+
+// SetMachine attaches the machine description of the run being recorded
+// (mpi.RunWith does this automatically).
+func (r *Recorder) SetMachine(m Machine) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.machine = m
+	r.mu.Unlock()
+}
+
+// Machine returns the recorded machine description (zero value when
+// never set).
+func (r *Recorder) Machine() Machine {
+	if r == nil {
+		return Machine{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.machine
+}
 
 // Metrics returns the metric registry (nil when metrics are off).
 func (r *Recorder) Metrics() *Metrics {

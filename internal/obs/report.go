@@ -177,8 +177,8 @@ func (r *Recorder) WriteReport(w io.Writer) {
 		fmt.Fprintln(w, "histograms")
 		for _, n := range names {
 			h, _ := m.Hist(n)
-			fmt.Fprintf(w, "  %-40s n=%d mean=%.3g min=%.3g max=%.3g\n",
-				n, h.Count, h.Mean(), h.Min, h.Max)
+			fmt.Fprintf(w, "  %-40s n=%d mean=%.3g min=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g\n",
+				n, h.Count, h.Mean(), h.Min, h.P50, h.P95, h.P99, h.Max)
 		}
 	}
 }

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReportNilRecorder: a nil recorder reports itself disabled instead
+// of panicking or printing an empty table.
+func TestReportNilRecorder(t *testing.T) {
+	var rec *Recorder
+	var buf bytes.Buffer
+	rec.WriteReport(&buf)
+	if got := buf.String(); !strings.Contains(got, "recording disabled") {
+		t.Errorf("nil recorder report = %q, want a disabled notice", got)
+	}
+	if b := rec.PhaseBreakdown(); b.Ranks != 0 || len(b.Phases) != 0 {
+		t.Errorf("nil recorder breakdown = %+v, want zero", b)
+	}
+}
+
+// TestReportEmptyRecorder: an enabled recorder with no spans produces a
+// breakdown with zero ranks and a report without a phase table.
+func TestReportEmptyRecorder(t *testing.T) {
+	rec := New(Options{Trace: true, Metrics: true})
+	b := rec.PhaseBreakdown()
+	if b.Ranks != 0 || b.Wall != 0 || len(b.Phases) != 0 {
+		t.Errorf("empty breakdown = %+v, want zero", b)
+	}
+	if c := b.Coverage(); c != 0 {
+		t.Errorf("empty coverage = %v, want 0", c)
+	}
+	var buf bytes.Buffer
+	rec.WriteReport(&buf)
+	if strings.Contains(buf.String(), "phase breakdown") {
+		t.Errorf("empty recorder printed a phase table:\n%s", buf.String())
+	}
+}
+
+// TestReportZeroCoverage: host spans exist but none are pipeline phases,
+// so the wall is positive while the phase sum (and coverage) is zero.
+func TestReportZeroCoverage(t *testing.T) {
+	rec := New(Options{Trace: true})
+	rk := rec.Rank(0)
+	rk.Span(TrackHost, PhaseFence, 0, 0.002, 0)
+	b := rec.PhaseBreakdown()
+	if b.Ranks != 1 {
+		t.Fatalf("ranks = %d, want 1", b.Ranks)
+	}
+	if b.Wall != 0.002 {
+		t.Errorf("wall = %v, want 0.002", b.Wall)
+	}
+	if s := b.Sum(); s != 0 {
+		t.Errorf("pipeline sum = %v, want 0 (only nested phases recorded)", s)
+	}
+	if c := b.Coverage(); c != 0 {
+		t.Errorf("coverage = %v, want 0", c)
+	}
+}
+
+// TestReportGolden pins the full text report — table layout, quantile
+// columns, compression and drop lines — against a golden file
+// (regenerate with -update).
+func TestReportGolden(t *testing.T) {
+	rec := New(Options{Trace: true, Metrics: true, SpanCap: 4})
+	r0 := rec.Rank(0)
+	r0.Span(TrackHost, PhasePack, 0, 0.001, 4096)
+	r0.Span(TrackHost, PhaseExchange, 0.001, 0.004, 8192)
+	r0.Span(TrackHost, PhaseFFT, 0.004, 0.006, 0)
+	r1 := rec.Rank(1)
+	r1.Span(TrackHost, PhasePack, 0, 0.002, 4096)
+	r1.Span(TrackHost, PhaseExchange, 0.002, 0.006, 8192)
+	r1.Span(TrackHost, PhaseFFT, 0.006, 0.0065, 0)
+	r1.Span(TrackHost, PhaseScale, 0.0065, 0.007, 0)
+	r1.Span(TrackHost, PhaseUnpack, 0.007, 0.0075, 0) // 5th span on rank 1: dropped by SpanCap 4
+
+	m := rec.Metrics()
+	m.Add("compress/fwd0/raw_bytes", 1<<20)
+	m.Add("compress/fwd0/wire_bytes", 1<<19)
+	m.Set("compress/fwd0/error_bound", 6e-8)
+	m.Add("mpi/puts", 42)
+	m.Set("exchange/fwd0/overlap_efficiency", 0.75)
+	for i := 1; i <= 100; i++ {
+		m.Observe("exchange/fwd0/time_s", float64(i)*1e-4)
+	}
+
+	var buf bytes.Buffer
+	rec.WriteReport(&buf)
+
+	golden := filepath.Join("testdata", "report.golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report differs from golden file (run with -update to regenerate)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestHistQuantiles checks the power-of-two-bucket quantile estimates:
+// resolution is a factor of √2, so assert bucket-level agreement.
+func TestHistQuantiles(t *testing.T) {
+	rec := New(Options{Metrics: true})
+	m := rec.Metrics()
+	// 98 samples at 1.0 and two at 1000: p50/p95 sit in the 1.0 bucket,
+	// p99 (nearest-rank: the 99th of 100) lands on the outliers' bucket.
+	for i := 0; i < 98; i++ {
+		m.Observe("h", 1.0)
+	}
+	m.Observe("h", 1000.0)
+	m.Observe("h", 1000.0)
+	h, ok := m.Hist("h")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	if h.P50 < 1.0/1.5 || h.P50 > 1.5 {
+		t.Errorf("p50 = %v, want ~1.0", h.P50)
+	}
+	if h.P95 < 1.0/1.5 || h.P95 > 1.5 {
+		t.Errorf("p95 = %v, want ~1.0", h.P95)
+	}
+	if h.P99 < 500 || h.P99 > 1000 {
+		t.Errorf("p99 = %v, want in the outlier bucket (clamped to max 1000)", h.P99)
+	}
+	if h.Min != 1.0 || h.Max != 1000.0 {
+		t.Errorf("min/max = %v/%v, want 1/1000", h.Min, h.Max)
+	}
+
+	// Single sample: all quantiles collapse onto it.
+	m.Observe("one", 0.25)
+	one, _ := m.Hist("one")
+	if one.P50 != 0.25 || one.P95 != 0.25 || one.P99 != 0.25 {
+		t.Errorf("single-sample quantiles = %v/%v/%v, want 0.25", one.P50, one.P95, one.P99)
+	}
+}
