@@ -1,6 +1,6 @@
 # Convenience targets; the repo needs only the Go toolchain.
 
-.PHONY: build test verify trace-demo bench benchdiff clean
+.PHONY: build test verify trace-demo bench benchdiff chaos chaos-race clean
 
 build:
 	go build ./...
@@ -17,6 +17,19 @@ verify:
 	go test ./...
 	go vet ./...
 	go test -race ./internal/obs/... ./internal/exchange/... ./internal/mpi/... ./internal/netsim/...
+	go run ./cmd/chaos -seeds 8
+
+# chaos sweeps randomized seeded fault plans (drop storms, corruption,
+# duplicates, degraded NICs, rank crashes) across every exchange
+# algorithm, asserting that each run completes bit-identically or fails
+# with an explicit attributed diagnostic (docs/ROBUSTNESS.md). Any
+# failure reproduces with `go run ./cmd/chaos -start <seed> -seeds 1 -v`.
+chaos:
+	go run ./cmd/chaos -seeds 60
+
+# chaos-race soaks the same sweep under the race detector.
+chaos-race:
+	go run -race ./cmd/chaos -seeds 25
 
 # trace-demo runs a small compressed strong-scaling cell and writes a
 # Chrome-trace JSON (open in chrome://tracing or ui.perfetto.dev) plus

@@ -37,6 +37,7 @@ func main() {
 	traceFlag := flag.String("trace", "", "write a Chrome-trace JSON of the last measured cell to this file")
 	metricsFlag := flag.Bool("metrics", false, "print the metrics report of the last measured cell")
 	jsonFlag := flag.String("json", "", "write the machine-readable bench artifact to this file")
+	faultsFlag := flag.Int64("faults", 0, "inject the seeded fault plan netsim.RandomPlan(seed); 0 disables (docs/ROBUSTNESS.md)")
 	flag.Parse()
 
 	gpus, err := parseInts(*gpusFlag)
@@ -66,6 +67,9 @@ func main() {
 			"gpus": *gpusFlag, "algos": *algosFlag,
 		},
 	}
+	if *faultsFlag != 0 {
+		artifact.Config["faults"] = fmt.Sprint(*faultsFlag)
+	}
 	// recorders keeps the last measured cell's recorder per algorithm so
 	// achieved compression can be reported after the table.
 	recorders := make([]*obs.Recorder, len(algos))
@@ -80,7 +84,11 @@ func main() {
 		labels = append(labels, fmt.Sprint(g))
 		for i, a := range algos {
 			rec := obs.New(obs.Options{Trace: recording, Metrics: true})
-			bw := exchange.NodeBandwidthWith(rec, netsim.Summit(g/6), a, *msg, *iters)
+			machine := netsim.Summit(g / 6)
+			if *faultsFlag != 0 {
+				machine.Faults = netsim.RandomPlan(*faultsFlag)
+			}
+			bw := exchange.NodeBandwidthWith(rec, machine, a, *msg, *iters)
 			recorders[i] = rec
 			lastRec = rec
 			lastCell = fmt.Sprintf("%s @ %d GPUs", a, g)
@@ -90,6 +98,7 @@ func main() {
 				row := analyze.Row{
 					Name: a, GPUs: g, NodeBW: bw,
 					Compression: analyze.CompressionRows(rec.Metrics().CompressionStats()),
+					Faults:      analyze.FaultRowFrom(rec.Metrics()),
 				}
 				s := analyze.Summarize(analyze.FromRecorder(rec), 0)
 				row.Analysis = &s

@@ -117,6 +117,7 @@ func main() {
 	traceFlag := flag.String("trace", "", "write a Chrome-trace JSON of the last measured cell to this file")
 	metricsFlag := flag.Bool("metrics", false, "print the phase-breakdown/metrics report of the last measured cell")
 	jsonFlag := flag.String("json", "", "write the machine-readable bench artifact to this file")
+	faultsFlag := flag.Int64("faults", 0, "inject the seeded fault plan netsim.RandomPlan(seed); 0 disables (docs/ROBUSTNESS.md)")
 	flag.Parse()
 
 	n := [3]int{*nFlag, *nFlag, *nFlag}
@@ -159,6 +160,9 @@ func main() {
 			"gpus": *gpusFlag, "iters": fmt.Sprint(*iters), "configs": *configsFlag,
 		},
 	}
+	if *faultsFlag != 0 {
+		artifact.Config["faults"] = fmt.Sprint(*faultsFlag)
+	}
 	// One recorder per (config, GPU-count) cell; recorders keeps the last
 	// measured row's recorder per config for the post-table summaries.
 	recorders := make([]*obs.Recorder, len(configs))
@@ -171,6 +175,9 @@ func main() {
 			continue
 		}
 		machine := netsim.Summit(g / 6)
+		if *faultsFlag != 0 {
+			machine.Faults = netsim.RandomPlan(*faultsFlag)
+		}
 		gflops := make([]float64, len(configs))
 		for i, c := range configs {
 			rec := obs.New(obs.Options{Trace: recording, Metrics: true})
@@ -185,6 +192,7 @@ func main() {
 					Seconds: res.ForwardTime, Gflops: res.Gflops,
 					Compression: analyze.CompressionRows(rec.Metrics().CompressionStats()),
 					Model:       modelDeltas(rec, machine, n, c, simScale),
+					Faults:      analyze.FaultRowFrom(rec.Metrics()),
 				}
 				s := analyze.Summarize(analyze.FromRecorder(rec), 0)
 				row.Analysis = &s

@@ -1,0 +1,173 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file implements DecompressChecked for every Method: the decode
+// entry points used at transport boundaries, where payloads may have
+// been truncated or corrupted in flight. Fixed-rate methods validate
+// the exact input length their value count implies before touching the
+// data; the variable-rate Lossless coder re-parses its token stream
+// with every header read bounds-checked.
+
+// ErrCorrupt is the error kind wrapped by all checked-decode failures.
+var ErrCorrupt = fmt.Errorf("compress: corrupt input")
+
+func corruptf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// checkFixed validates the input length of a fixed-rate stream, where
+// the size is a function of the value count alone.
+func checkFixed(name string, need, have int) error {
+	if have < need {
+		return corruptf("%s: %d bytes of input, need %d", name, have, need)
+	}
+	return nil
+}
+
+// DecompressChecked implements Method.
+func (m None) DecompressChecked(dst []float64, src []byte) (int, error) {
+	if err := checkFixed(m.Name(), 8*len(dst), len(src)); err != nil {
+		return 0, err
+	}
+	return m.Decompress(dst, src), nil
+}
+
+// DecompressChecked implements Method.
+func (m Cast32) DecompressChecked(dst []float64, src []byte) (int, error) {
+	if err := checkFixed(m.Name(), 4*len(dst), len(src)); err != nil {
+		return 0, err
+	}
+	return m.Decompress(dst, src), nil
+}
+
+// DecompressChecked implements Method.
+func (m Cast16) DecompressChecked(dst []float64, src []byte) (int, error) {
+	if err := checkFixed(m.Name(), 2*len(dst), len(src)); err != nil {
+		return 0, err
+	}
+	return m.Decompress(dst, src), nil
+}
+
+// DecompressChecked implements Method.
+func (m CastBF16) DecompressChecked(dst []float64, src []byte) (int, error) {
+	if err := checkFixed(m.Name(), 2*len(dst), len(src)); err != nil {
+		return 0, err
+	}
+	return m.Decompress(dst, src), nil
+}
+
+// DecompressChecked implements Method.
+func (t Trim) DecompressChecked(dst []float64, src []byte) (int, error) {
+	if t.M > 52 {
+		return 0, corruptf("%s: invalid mantissa width", t.Name())
+	}
+	if err := checkFixed(t.Name(), t.MaxCompressedLen(len(dst)), len(src)); err != nil {
+		return 0, err
+	}
+	return t.Decompress(dst, src), nil
+}
+
+// DecompressChecked implements Method.
+func (b Block) DecompressChecked(dst []float64, src []byte) (int, error) {
+	if b.Bits < 1 || b.Bits > 30 {
+		return 0, corruptf("%s: invalid bit budget", b.Name())
+	}
+	if err := checkFixed(b.Name(), b.MaxCompressedLen(len(dst)), len(src)); err != nil {
+		return 0, err
+	}
+	return b.Decompress(dst, src), nil
+}
+
+// DecompressChecked implements Method. The scale header must be a
+// positive finite power of two (the only values Compress ever writes).
+func (s Scaled) DecompressChecked(dst []float64, src []byte) (int, error) {
+	if len(src) < 8 {
+		return 0, corruptf("%s: %d bytes of input, need the 8-byte scale header", s.Name(), len(src))
+	}
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(src))
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return 0, corruptf("%s: scale header %g is not a positive finite value", s.Name(), scale)
+	}
+	frac, _ := math.Frexp(scale)
+	if frac != 0.5 {
+		return 0, corruptf("%s: scale header %g is not a power of two", s.Name(), scale)
+	}
+	n, err := s.Inner.DecompressChecked(dst, src[8:])
+	if err != nil {
+		return 0, err
+	}
+	inv := 1 / scale
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return 8 + n, nil
+}
+
+// DecompressChecked implements Method: a full validated re-parse of the
+// token stream, since the Lossless coder is variable-rate and every
+// header read can run past a truncated input.
+func (m Lossless) DecompressChecked(dst []float64, src []byte) (int, error) {
+	total, hdr := binary.Uvarint(src)
+	if hdr <= 0 {
+		return 0, corruptf("%s: bad length header", m.Name())
+	}
+	if total != uint64(8*len(dst)) {
+		return 0, corruptf("%s: stream declares %d bytes, caller expects %d", m.Name(), total, 8*len(dst))
+	}
+	raw := make([]byte, total)
+	n := hdr
+	out := 0
+	for out < int(total) {
+		if n >= len(src) {
+			return 0, corruptf("%s: truncated at token %d/%d bytes", m.Name(), out, total)
+		}
+		tok := src[n]
+		n++
+		if tok != 0x00 && tok != 0x01 {
+			return 0, corruptf("%s: invalid token 0x%02x", m.Name(), tok)
+		}
+		v, used := binary.Uvarint(src[n:])
+		if used <= 0 {
+			return 0, corruptf("%s: bad token length varint", m.Name())
+		}
+		n += used
+		if tok == 0x00 {
+			run := v + 1
+			if run > total-uint64(out) {
+				return 0, corruptf("%s: zero run of %d overflows %d remaining bytes", m.Name(), run, total-uint64(out))
+			}
+			out += int(run) // zeros already in place
+			continue
+		}
+		if v > total-uint64(out) {
+			return 0, corruptf("%s: literal of %d overflows %d remaining bytes", m.Name(), v, total-uint64(out))
+		}
+		if uint64(len(src)-n) < v {
+			return 0, corruptf("%s: literal of %d truncated (%d bytes left)", m.Name(), v, len(src)-n)
+		}
+		out += copy(raw[out:], src[n:n+int(v)])
+		n += int(v)
+	}
+	unshuffle(raw, dst)
+	return n, nil
+}
+
+// DecompressChecked is the checked variant of Block3D.Decompress
+// (Block3D is not a Method — its signatures carry the block dims).
+func (b Block3D) DecompressChecked(dst []float64, src []byte, dims [3]int) (int, error) {
+	if b.Bits < 1 || b.Bits > 30 {
+		return 0, corruptf("%s: invalid bit budget", b.String())
+	}
+	if dims[0]*dims[1]*dims[2] != len(dst) {
+		return 0, corruptf("%s: dims %v do not cover %d values", b.String(), dims, len(dst))
+	}
+	if err := checkFixed(b.String(), b.MaxCompressedLen(dims), len(src)); err != nil {
+		return 0, err
+	}
+	return b.Decompress(dst, src, dims), nil
+}

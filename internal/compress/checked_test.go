@@ -1,0 +1,131 @@
+package compress
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDecompressCheckedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float64, 123)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	for _, m := range allMethods() {
+		buf := make([]byte, m.MaxCompressedLen(len(src)))
+		n := m.Compress(buf, src)
+		gotPlain := make([]float64, len(src))
+		m.Decompress(gotPlain, buf[:n])
+		gotChecked := make([]float64, len(src))
+		cn, err := m.DecompressChecked(gotChecked, buf[:n])
+		if err != nil {
+			t.Errorf("%s: checked decode of valid stream failed: %v", m.Name(), err)
+			continue
+		}
+		if cn != n {
+			t.Errorf("%s: checked consumed %d bytes, plain %d", m.Name(), cn, n)
+		}
+		for i := range src {
+			if gotChecked[i] != gotPlain[i] {
+				t.Errorf("%s: checked and plain decode disagree at %d", m.Name(), i)
+				break
+			}
+		}
+	}
+}
+
+func TestDecompressCheckedRejectsTruncation(t *testing.T) {
+	src := make([]float64, 64)
+	for i := range src {
+		src[i] = float64(i) * 0.25
+	}
+	for _, m := range allMethods() {
+		buf := make([]byte, m.MaxCompressedLen(len(src)))
+		n := m.Compress(buf, src)
+		for _, cut := range []int{0, 1, n / 2, n - 1} {
+			if cut >= n {
+				continue
+			}
+			dst := make([]float64, len(src))
+			if _, err := m.DecompressChecked(dst, buf[:cut]); err == nil {
+				t.Errorf("%s: accepted input truncated to %d/%d bytes", m.Name(), cut, n)
+			} else if !errors.Is(err, ErrCorrupt) {
+				t.Errorf("%s: error %v does not wrap ErrCorrupt", m.Name(), err)
+			}
+		}
+	}
+}
+
+func TestDecompressCheckedNeverPanics(t *testing.T) {
+	// Random mutations of valid streams: checked decode must return — a
+	// wrong value for undetectably-flipped payload bits is acceptable, a
+	// panic is not.
+	rng := rand.New(rand.NewSource(2))
+	src := make([]float64, 48)
+	for i := range src {
+		src[i] = rng.NormFloat64() * math.Ldexp(1, rng.Intn(20)-10)
+	}
+	for _, m := range allMethods() {
+		buf := make([]byte, m.MaxCompressedLen(len(src)))
+		n := m.Compress(buf, src)
+		for trial := 0; trial < 200; trial++ {
+			bad := append([]byte(nil), buf[:n]...)
+			for flips := 1 + rng.Intn(4); flips > 0; flips-- {
+				bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: checked decode panicked on mutated input: %v", m.Name(), r)
+					}
+				}()
+				dst := make([]float64, len(src))
+				_, _ = m.DecompressChecked(dst, bad)
+			}()
+		}
+	}
+}
+
+func TestScaledCheckedRejectsBadScale(t *testing.T) {
+	s := Scaled{Inner: Cast16{}}
+	src := []float64{1, 2, 3, 4}
+	buf := make([]byte, s.MaxCompressedLen(len(src)))
+	n := s.Compress(buf, src)
+	for name, hdr := range map[string][8]byte{
+		"zero": {},
+		"nan":  {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xf8, 0x7f},
+		"inf":  {0, 0, 0, 0, 0, 0, 0xf0, 0x7f},
+		"neg":  {0, 0, 0, 0, 0, 0, 0xf0, 0xbf},
+		"3.0":  {0, 0, 0, 0, 0, 0, 0x08, 0x40},
+	} {
+		bad := append([]byte(nil), buf[:n]...)
+		copy(bad, hdr[:])
+		dst := make([]float64, len(src))
+		if _, err := s.DecompressChecked(dst, bad); err == nil {
+			t.Errorf("accepted %s scale header", name)
+		}
+	}
+}
+
+func TestBlock3DChecked(t *testing.T) {
+	b := Block3D{Bits: 10}
+	dims := [3]int{8, 4, 4}
+	src := make([]float64, dims[0]*dims[1]*dims[2])
+	for i := range src {
+		src[i] = math.Sin(float64(i) / 7)
+	}
+	buf := make([]byte, b.MaxCompressedLen(dims))
+	n := b.Compress(buf, src, dims)
+	dst := make([]float64, len(src))
+	if _, err := b.DecompressChecked(dst, buf[:n], dims); err != nil {
+		t.Fatalf("valid stream rejected: %v", err)
+	}
+	if _, err := b.DecompressChecked(dst, buf[:n/2], dims); err == nil {
+		t.Error("accepted truncated stream")
+	}
+	if _, err := b.DecompressChecked(dst, buf[:n], [3]int{1, 1, 1}); err == nil {
+		t.Error("accepted mismatched dims")
+	}
+}

@@ -32,8 +32,13 @@ type Method interface {
 	// written. dst must have at least MaxCompressedLen(len(src)) bytes.
 	Compress(dst []byte, src []float64) int
 	// Decompress decodes exactly n values into dst[:n] from src and
-	// returns the number of bytes consumed.
+	// returns the number of bytes consumed. It assumes well-formed input
+	// (panics on truncation); transport boundaries use DecompressChecked.
 	Decompress(dst []float64, src []byte) int
+	// DecompressChecked is Decompress for untrusted input: truncated or
+	// corrupt streams return an error instead of panicking or decoding
+	// garbage. On success it behaves exactly like Decompress.
+	DecompressChecked(dst []float64, src []byte) (int, error)
 	// ErrorBound returns the worst-case relative error introduced per
 	// value (0 for lossless), assuming values within the method's range.
 	ErrorBound() float64

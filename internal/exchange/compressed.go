@@ -2,6 +2,7 @@ package exchange
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"repro/internal/compress"
 	"repro/internal/gpu"
@@ -51,6 +52,7 @@ type CompressedOSC struct {
 
 	recvCounts []int
 	slotOff    []int // window offset of each source's slot
+	slotLen    []int // window slot size per source
 	sendOff    []int // my slot offset within each destination's window
 	stagePos   []int // staging offset per destination
 	order      []int
@@ -58,6 +60,7 @@ type CompressedOSC struct {
 	expected   []int
 	stage      []byte      // compressed staging ("first internal buffer")
 	out        [][]float64 // decompressed results, reused across calls
+	heal       *healer
 }
 
 // NewCompressedOSC collectively builds the compressed exchange for the
@@ -94,7 +97,8 @@ func NewCompressedOSC(c *mpi.Comm, method compress.Method, stream *gpu.Stream, c
 	for d := 0; d < p; d++ {
 		sendSizes[d] = slotBytes(counts(d, me))
 	}
-	sendOff := exchangeOffsets(c, recvSizesBytes(recvCounts, slotBytes), slotOff, sendSizes)
+	slotLen := recvSizesBytes(recvCounts, slotBytes)
+	sendOff := exchangeOffsets(c, slotLen, slotOff, sendSizes)
 	order := ringOrder(c, true)
 	stagePos := make([]int, p)
 	stageSize := 0
@@ -116,6 +120,7 @@ func NewCompressedOSC(c *mpi.Comm, method compress.Method, stream *gpu.Stream, c
 		Pipelined:  true,
 		recvCounts: recvCounts,
 		slotOff:    slotOff,
+		slotLen:    slotLen,
 		sendOff:    sendOff,
 		stagePos:   stagePos,
 		order:      order,
@@ -123,6 +128,7 @@ func NewCompressedOSC(c *mpi.Comm, method compress.Method, stream *gpu.Stream, c
 		expected:   expected,
 		stage:      make([]byte, stageSize),
 		out:        out,
+		heal:       newHealer(c),
 	}
 	x.SetLabel("exchange")
 	return x
@@ -182,6 +188,18 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 	if x.SimCounts != nil {
 		simCounts = x.SimCounts
 	}
+	// Phase 0 (reliable mode only): peers downgraded to the two-sided
+	// path get their data up front, uncompressed (lossless), over the
+	// checksummed-and-retried transport. Sends never block, so this
+	// injects before any kernel is launched.
+	healing := x.heal.active()
+	if healing {
+		for _, dst := range x.order {
+			if x.counts(dst, me) > 0 && x.heal.fellTo[dst] {
+				x.c.Send(dst, tagFallback, f64Bytes(send[dst]))
+			}
+		}
+	}
 	// Phase 1 (§V-B): submit one compression kernel per chunk, all up
 	// front, on the same stream.
 	rk := x.c.Obs()
@@ -191,6 +209,9 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 		group := group
 		inBytes, outBytes := 0, 0
 		for _, dst := range group {
+			if healing && x.heal.fellTo[dst] {
+				continue
+			}
 			cv := simCounts(dst, me)
 			inBytes += 8 * cv
 			outBytes += x.method.MaxCompressedLen(cv)
@@ -200,7 +221,7 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 		done[g] = x.stream.LaunchTagged(obs.PhaseCompress, cost, func() {
 			for _, dst := range group {
 				vals := send[dst]
-				if len(vals) == 0 {
+				if len(vals) == 0 || (healing && x.heal.fellTo[dst]) {
 					continue
 				}
 				slot := x.stage[x.stagePos[dst]:]
@@ -232,7 +253,7 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 			x.c.AdvanceTo(done[g])
 		}
 		for _, dst := range group {
-			if x.counts(dst, me) == 0 {
+			if x.counts(dst, me) == 0 || (healing && x.heal.fellTo[dst]) {
 				continue
 			}
 			slot := x.stage[x.stagePos[dst]:]
@@ -260,31 +281,100 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 		rk.Set(x.metricOverlap, eff)
 	}
 
-	// Phase 3: close the epoch.
-	x.win.Fence(x.expected)
+	// Phase 3: close the epoch. In reliable mode the fence reports (per
+	// peer) corrupt or missing puts instead of panicking, so the epilogue
+	// can re-fetch the damage over the lossless two-sided path.
+	var rep mpi.FenceReport
+	if healing {
+		rep = x.win.FenceChecked(x.heal.maskExpected(x.expected))
+	} else {
+		x.win.Fence(x.expected)
+	}
 
 	// Phase 4: decompress the whole window (one kernel — the paper
 	// decompresses the entire buffer after communications complete).
+	// Every slot decode is checked: a mangled length header or payload
+	// marks the source damaged instead of panicking or reading out of
+	// range.
 	buf := x.win.Buffer()
+	damaged := make([]bool, x.c.Size())
+	for _, s := range rep.Corrupt {
+		damaged[s] = true
+	}
+	for _, s := range rep.Missing {
+		damaged[s] = true
+	}
 	inBytes, outBytes := 0, 0
 	for s, cnt := range x.recvCounts {
-		if cnt == 0 {
+		if cnt == 0 || (healing && x.heal.fellFrom[s]) {
 			continue
 		}
-		sc := simCounts(x.c.Rank(), s)
+		sc := simCounts(me, s)
 		inBytes += x.method.MaxCompressedLen(sc)
 		outBytes += 8 * sc
 	}
 	x.stream.LaunchTagged(obs.PhaseDecompress, dev.CompressCost(inBytes, outBytes), func() {
 		for s, cnt := range x.recvCounts {
-			if cnt == 0 {
+			if cnt == 0 || damaged[s] || (healing && x.heal.fellFrom[s]) {
 				continue
 			}
-			off := x.slotOff[s]
-			clen := int(binary.LittleEndian.Uint32(buf[off:]))
-			x.method.Decompress(x.out[s], buf[off+4:off+4+clen])
+			slot := buf[x.slotOff[s] : x.slotOff[s]+x.slotLen[s]]
+			if err := decodeSlot(x.method, x.out[s], slot); err != nil {
+				if !healing {
+					panic(err)
+				}
+				damaged[s] = true // re-fetched losslessly below
+			}
 		}
 	})
 	x.stream.Synchronize()
+	if healing {
+		x.healEpoch(send, damaged)
+	}
 	return x.out
 }
+
+// decodeSlot validates and decodes one window slot (4-byte compressed
+// length + payload) into dst. Both the header and the payload are
+// untrusted: an out-of-range length or a structurally corrupt stream
+// yields an error, never a panic or an out-of-bounds read.
+func decodeSlot(m compress.Method, dst []float64, slot []byte) error {
+	if len(slot) < 4 {
+		return fmt.Errorf("exchange: slot of %d bytes lacks the length header", len(slot))
+	}
+	clen := binary.LittleEndian.Uint32(slot)
+	if uint64(clen) > uint64(len(slot)-4) {
+		return fmt.Errorf("exchange: slot declares %d compressed bytes, holds %d", clen, len(slot)-4)
+	}
+	_, err := m.DecompressChecked(dst, slot[4:4+clen])
+	return err
+}
+
+// healEpoch is the reliable-mode epilogue of one exchange: drain the
+// two-sided deliveries of fallen-back sources, re-fetch every damaged
+// slot over the lossless path, and escalate repeatedly failing links to
+// a permanent fallback.
+func (x *CompressedOSC) healEpoch(send [][]float64, damaged []bool) {
+	me := x.c.Rank()
+	p := x.c.Size()
+	for s := 0; s < p; s++ {
+		if x.recvCounts[s] > 0 && x.heal.fellFrom[s] {
+			f64Into(x.out[s], x.c.Recv(s, tagFallback), s)
+		}
+	}
+	putSrc := make([]bool, p)
+	putDst := make([]bool, p)
+	for r := 0; r < p; r++ {
+		putSrc[r] = x.recvCounts[r] > 0 && !x.heal.fellFrom[r]
+		putDst[r] = x.counts(r, me) > 0 && !x.heal.fellTo[r]
+	}
+	x.heal.round(damaged, putSrc, putDst,
+		func(d int) []byte { return f64Bytes(send[d]) },
+		func(s int, data []byte) { f64Into(x.out[s], data, s) })
+}
+
+// Health reports the cumulative degradation of this exchange: repaired
+// slots and peers downgraded to the two-sided path. Repaired and
+// fallen-back slots arrive lossless (raw FP64), trading the compression
+// win for integrity. Always healthy without a fault plan.
+func (x *CompressedOSC) Health() Degradation { return x.heal.report() }

@@ -2,6 +2,8 @@ package exchange
 
 import (
 	"encoding/binary"
+	"fmt"
+	"math"
 
 	"repro/internal/mpi"
 )
@@ -30,7 +32,17 @@ func exchangeOffsets(c *mpi.Comm, recvSizes, recvOff, sendSizes []int) []int {
 	for d, n := range sendSizes {
 		if n > 0 {
 			got := c.Recv(d, tagCtlOffset)
-			sendOff[d] = int(binary.LittleEndian.Uint64(got))
+			// The handshake seeds every later put's placement, so a mangled
+			// control message must fail here, loudly, not as a corrupted
+			// window a million virtual seconds later.
+			if len(got) != 8 {
+				panic(fmt.Sprintf("exchange: offset handshake from rank %d carried %d bytes, want 8", d, len(got)))
+			}
+			off := binary.LittleEndian.Uint64(got)
+			if off > math.MaxInt64/2 {
+				panic(fmt.Sprintf("exchange: offset handshake from rank %d carried implausible offset %#x", d, off))
+			}
+			sendOff[d] = int(off)
 		}
 	}
 	return sendOff

@@ -96,6 +96,71 @@ func TestCompressedOSCFuzzPatterns(t *testing.T) {
 	}
 }
 
+// TestDecodeSlotFuzzNeverPanics: the window-slot decoder is the first
+// consumer of bytes that crossed the (possibly corrupting) one-sided
+// transport. Whatever those bytes hold — random noise, a mutated valid
+// stream, an oversized length header — it must return an error or a
+// value, never panic or read out of range.
+func TestDecodeSlotFuzzNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	methods := []compress.Method{
+		compress.None{}, compress.Cast32{}, compress.Cast16{}, compress.CastBF16{},
+		compress.Trim{M: 20}, compress.Block{Bits: 12},
+		compress.Scaled{Inner: compress.Cast16{}}, compress.Lossless{},
+	}
+	vals := make([]float64, 37)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	for _, m := range methods {
+		// A valid slot: 4-byte length header + compressed payload, padded
+		// to the fixed window slot size.
+		slot := make([]byte, 4+m.MaxCompressedLen(len(vals)))
+		clen := m.Compress(slot[4:], vals)
+		putLE32(slot, uint32(clen))
+		dst := make([]float64, len(vals))
+		if err := decodeSlot(m, dst, slot); err != nil {
+			t.Errorf("%s: valid slot rejected: %v", m.Name(), err)
+		}
+		for trial := 0; trial < 300; trial++ {
+			bad := append([]byte(nil), slot...)
+			switch trial % 3 {
+			case 0: // mutate bytes anywhere, header included
+				for flips := 1 + rng.Intn(5); flips > 0; flips-- {
+					bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+				}
+			case 1: // hostile length header
+				putLE32(bad, rng.Uint32())
+			case 2: // pure noise
+				rng.Read(bad)
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: decodeSlot panicked on corrupt slot: %v", m.Name(), r)
+					}
+				}()
+				_ = decodeSlot(m, dst, bad)
+			}()
+		}
+		// Truncated slots, down to and below the header.
+		for _, n := range []int{0, 1, 3, 4, len(slot) / 2} {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: decodeSlot panicked on %d-byte slot: %v", m.Name(), n, r)
+					}
+				}()
+				_ = decodeSlot(m, dst, slot[:n])
+			}()
+		}
+	}
+}
+
+func putLE32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
 // TestAlgorithmsAgreeOnTime: phantom and real exchanges of the same
 // pattern take identical virtual time (the data plane never affects the
 // time plane).

@@ -1,6 +1,8 @@
 package exchange
 
 import (
+	"fmt"
+
 	"repro/internal/mpi"
 	"repro/internal/obs"
 )
@@ -32,6 +34,7 @@ type OSC struct {
 	sendOff   []int // my offset within each destination's window
 	order     []int
 	expected  []int
+	heal      *healer
 	// FlushEvery bounds the number of outstanding puts: after this many
 	// puts the origin waits for their completion (Algorithm 3 line 10
 	// waits once per node step; it also throttles injection, which §V-A
@@ -95,8 +98,14 @@ func newOSC(c *mpi.Comm, size SizeFn, nodeAware, alloc bool) *OSC {
 		sendOff:   sendOff,
 		order:     ringOrder(c, nodeAware),
 		expected:  expected,
+		heal:      newHealer(c),
 	}
 }
+
+// Health reports the cumulative degradation of this exchange: repaired
+// slots and peers downgraded to the two-sided path. Always healthy
+// without a fault plan.
+func (o *OSC) Health() Degradation { return o.heal.report() }
 
 // Exchange performs the all-to-all: send[d] goes to rank d and must be
 // size(d, me) bytes. The result, indexed by source, aliases the window
@@ -106,6 +115,7 @@ func (o *OSC) Exchange(send [][]byte) [][]byte {
 		panic("exchange: Exchange on a phantom OSC (use NewOSC)")
 	}
 	me := o.c.Rank()
+	healing := o.heal.active()
 	pending := 0
 	flushAt := o.c.Now()
 	for _, dst := range o.order {
@@ -113,6 +123,11 @@ func (o *OSC) Exchange(send [][]byte) [][]byte {
 			panic("exchange: send size does not match the OSC plan")
 		}
 		if len(send[dst]) == 0 {
+			continue
+		}
+		if healing && o.heal.fellTo[dst] {
+			// Downgraded link: two-sided, checksummed, retried.
+			o.c.Send(dst, tagFallback, send[dst])
 			continue
 		}
 		logical := len(send[dst])
@@ -128,8 +143,13 @@ func (o *OSC) Exchange(send [][]byte) [][]byte {
 			pending = 0
 		}
 	}
-	o.win.Fence(o.expected)
 	buf := o.win.Buffer()
+	if !healing {
+		o.win.Fence(o.expected)
+	} else {
+		rep := o.win.FenceChecked(o.heal.maskExpected(o.expected))
+		o.healEpoch(send, rep, buf)
+	}
 	out := make([][]byte, len(o.recvSizes))
 	for s, n := range o.recvSizes {
 		out[s] = buf[o.offsets[s] : o.offsets[s]+n : o.offsets[s]+n]
@@ -158,6 +178,44 @@ func (o *OSC) ExchangeN() {
 		}
 	}
 	o.win.Fence(o.expected)
+}
+
+// healEpoch is the reliable-mode epilogue of one exchange: drain the
+// two-sided deliveries of fallen-back sources, then run the
+// verdict/repair round over whatever the fence flagged, escalating
+// repeatedly failing links to a permanent fallback.
+func (o *OSC) healEpoch(send [][]byte, rep mpi.FenceReport, buf []byte) {
+	me := o.c.Rank()
+	p := o.c.Size()
+	for s := 0; s < p; s++ {
+		if o.recvSizes[s] > 0 && o.heal.fellFrom[s] {
+			o.place(s, o.c.Recv(s, tagFallback), buf)
+		}
+	}
+	damaged := make([]bool, p)
+	for _, s := range rep.Corrupt {
+		damaged[s] = true
+	}
+	for _, s := range rep.Missing {
+		damaged[s] = true
+	}
+	putSrc := make([]bool, p)
+	putDst := make([]bool, p)
+	for r := 0; r < p; r++ {
+		putSrc[r] = o.recvSizes[r] > 0 && !o.heal.fellFrom[r]
+		putDst[r] = o.size(r, me) > 0 && !o.heal.fellTo[r]
+	}
+	o.heal.round(damaged, putSrc, putDst,
+		func(d int) []byte { return send[d] },
+		func(s int, data []byte) { o.place(s, data, buf) })
+}
+
+// place installs a two-sided payload into source s's window slot.
+func (o *OSC) place(s int, data, buf []byte) {
+	if len(data) != o.recvSizes[s] {
+		panic(fmt.Sprintf("exchange: payload from rank %d carried %d bytes, want %d", s, len(data), o.recvSizes[s]))
+	}
+	copy(buf[o.offsets[s]:], data)
 }
 
 // flush waits until the outstanding puts completed at their targets and

@@ -41,6 +41,14 @@ type Comm struct {
 	collEpoch      int
 	nextWinID      int
 	winCreateCost  float64
+
+	// Reliable mode (auto-enabled when the config carries a fault plan;
+	// see reliable.go). All fields stay zero otherwise, and every use is
+	// gated on the flag so fault-free runs take the exact plain paths.
+	reliable bool
+	retry    netsim.RetryPolicy
+	sendSeq  map[seqKey]uint32
+	recvSeq  map[seqKey]uint32
 }
 
 // Run starts one rank body per simulated GPU and returns the netsim
@@ -54,6 +62,27 @@ func Run(cfg netsim.Config, body func(*Comm)) netsim.Result {
 // events of netsim's Tracer stream are recorded on the same timeline.
 // A nil recorder makes RunWith identical to Run, with zero overhead.
 func RunWith(cfg netsim.Config, rec *obs.Recorder, body func(*Comm)) netsim.Result {
+	res, err := runWith(cfg, rec, body, false)
+	if err != nil {
+		panic(err) // unreachable: unchecked mode panics at the source
+	}
+	return res
+}
+
+// RunChecked is Run for fault-plan configs: rank failures (typed
+// *FaultError diagnostics from the reliable runtime, or any panic) and
+// deadlocks terminate the run and come back as a *netsim.RunError
+// instead of aborting the process.
+func RunChecked(cfg netsim.Config, body func(*Comm)) (netsim.Result, error) {
+	return runWith(cfg, nil, body, true)
+}
+
+// RunWithChecked is RunChecked with an observability recorder.
+func RunWithChecked(cfg netsim.Config, rec *obs.Recorder, body func(*Comm)) (netsim.Result, error) {
+	return runWith(cfg, rec, body, true)
+}
+
+func runWith(cfg netsim.Config, rec *obs.Recorder, body func(*Comm), check bool) (netsim.Result, error) {
 	rec.SetMachine(obs.Machine{
 		Nodes: cfg.Nodes, GPUsPerNode: cfg.GPUsPerNode,
 		InterBW: cfg.InterBW, IntraBW: cfg.IntraBW, LocalBW: cfg.LocalBW,
@@ -72,14 +101,50 @@ func RunWith(cfg netsim.Config, rec *obs.Recorder, body func(*Comm)) netsim.Resu
 			})
 		}
 	}
-	return netsim.Run(cfg, func(p *netsim.Proc) {
-		body(&Comm{
+	mk := func(p *netsim.Proc) *Comm {
+		c := &Comm{
 			p:              p,
 			obs:            rec.Rank(p.Rank()),
 			eagerThreshold: DefaultEagerThreshold,
 			winCreateCost:  50e-6,
-		})
-	})
+		}
+		if cfg.Faults != nil {
+			c.reliable = true
+			c.retry = cfg.Faults.Retry.WithDefaults()
+			c.sendSeq = make(map[seqKey]uint32)
+			c.recvSeq = make(map[seqKey]uint32)
+		}
+		return c
+	}
+	var res netsim.Result
+	var err error
+	if check {
+		res, err = netsim.RunChecked(cfg, func(p *netsim.Proc) { body(mk(p)) })
+	} else {
+		res = netsim.Run(cfg, func(p *netsim.Proc) { body(mk(p)) })
+	}
+	recordFaultStats(rec, res.Stats.Faults)
+	return res, err
+}
+
+// recordFaultStats surfaces the run's fault/recovery counters through
+// the metrics registry so reports and bench artifacts can flag runs
+// whose numbers were earned under degradation.
+func recordFaultStats(rec *obs.Recorder, f netsim.FaultStats) {
+	if rec == nil || f == (netsim.FaultStats{}) {
+		return
+	}
+	m := rec.Metrics()
+	m.Add("fault/drops", int64(f.Drops))
+	m.Add("fault/detected_corrupt", int64(f.DetectedCorrupt))
+	m.Add("fault/silent_corrupt", int64(f.SilentCorrupt))
+	m.Add("fault/duplicates", int64(f.Duplicates))
+	m.Add("fault/spikes", int64(f.Spikes))
+	m.Add("fault/stalls", int64(f.Stalls))
+	m.Add("fault/retries", int64(f.Retries))
+	m.Add("fault/lost", int64(f.Lost))
+	m.Add("fault/crashes", int64(f.Crashes))
+	m.Set("fault/retry_delay_s", f.RetryDelayS)
 }
 
 // Obs returns this rank's observability handle (nil, and safe to use,
@@ -145,6 +210,12 @@ func checkUserTag(tag int) {
 // returns at injection time, as a buffered MPI_Send would.
 func (c *Comm) Send(dst, tag int, data []byte) {
 	checkUserTag(tag)
+	if c.reliable {
+		payload := frame(c.nextSendSeq(dst, tag), data)
+		lat, proto := c.rendezvousCost(dst, len(data))
+		c.p.SendMsg(dst, tag, netsim.SendOpts{Payload: payload, Bytes: len(data) + frameHdr, ExtraLatency: lat, ProtoOverhead: proto})
+		return
+	}
 	payload := data
 	if len(data) <= c.eagerThreshold {
 		payload = append([]byte(nil), data...)
@@ -158,28 +229,53 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 // would be infeasible. Timing is identical to Send.
 func (c *Comm) SendN(dst, tag, n int) {
 	checkUserTag(tag)
+	if c.reliable {
+		payload := frame(c.nextSendSeq(dst, tag), nil)
+		lat, proto := c.rendezvousCost(dst, n)
+		c.p.SendMsg(dst, tag, netsim.SendOpts{Payload: payload, Bytes: n + frameHdr, ExtraLatency: lat, ProtoOverhead: proto})
+		return
+	}
 	lat, proto := c.rendezvousCost(dst, n)
 	c.p.SendMsg(dst, tag, netsim.SendOpts{Bytes: n, ExtraLatency: lat, ProtoOverhead: proto})
 }
 
 // Recv blocks until the message from src with the given tag arrives and
-// returns its payload (nil for phantom messages).
+// returns its payload (nil for phantom messages). In reliable mode it
+// verifies the frame, drops duplicates, and raises a *FaultError on a
+// watchdog timeout, a lost message, or corruption.
 func (c *Comm) Recv(src, tag int) []byte {
 	checkUserTag(tag)
+	if c.reliable {
+		return c.recvReliable(src, tag).Payload
+	}
 	return c.p.Recv(src, tag).Payload
 }
 
 // RecvPacket is Recv exposing the full packet metadata.
 func (c *Comm) RecvPacket(src, tag int) netsim.Packet {
 	checkUserTag(tag)
+	if c.reliable {
+		return c.recvReliable(src, tag)
+	}
 	return c.p.Recv(src, tag)
 }
 
-// internal send/recv on protocol tags (no user-tag check).
+// internal send/recv on protocol tags (no user-tag check). Internal
+// tags are fresh per collective epoch, so duplicates are harmless
+// leftovers and no sequence framing is needed; reliable mode only adds
+// the watchdog deadline that turns a lost message or crashed peer into
+// a diagnostic instead of a hang.
 func (c *Comm) sendInternal(dst, tag int, data []byte, n int) {
 	c.p.SendDelayed(dst, tag, data, n, 0)
 }
 
 func (c *Comm) recvInternal(src, tag int) netsim.Packet {
+	if c.reliable {
+		pkt, ok := c.p.RecvDeadline(src, tag, c.deadline())
+		if !ok {
+			panic(&FaultError{Rank: c.Rank(), Src: src, Tag: tag, Kind: "timeout", Op: "collective", When: c.p.Now()})
+		}
+		return pkt
+	}
 	return c.p.Recv(src, tag)
 }

@@ -42,7 +42,14 @@ func (c *Comm) Irecv(src, tag int) *Request {
 // no-op returning the same payload.
 func (r *Request) Wait() []byte {
 	if !r.done {
-		r.pkt = r.c.recvInternal(r.src, r.tag)
+		if r.c.reliable {
+			// User-tag traffic is framed in reliable mode; go through the
+			// dedup/checksum path so deferred receives see the same
+			// guarantees as blocking ones.
+			r.pkt = r.c.recvReliable(r.src, r.tag)
+		} else {
+			r.pkt = r.c.recvInternal(r.src, r.tag)
+		}
 		r.done = true
 	}
 	return r.pkt.Payload

@@ -59,6 +59,12 @@ type Config struct {
 	// must not call back into the engine.
 	Tracer func(TraceEvent) `json:"-"`
 
+	// Faults, when non-nil, attaches a deterministic fault-injection plan
+	// to the run (see FaultPlan). nil keeps the engine on the exact
+	// fault-free code paths — virtual times are byte-identical to a build
+	// without the fault layer.
+	Faults *FaultPlan `json:"-"`
+
 	// MatchCost is the receiver-side cost of scanning one entry of the
 	// unexpected-message queue when matching a two-sided receive, and
 	// MatchQueueCap bounds the queue length the flow control lets build

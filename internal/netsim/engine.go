@@ -4,7 +4,6 @@ import (
 	"container/heap"
 	"fmt"
 	"runtime"
-	"sort"
 )
 
 // Packet is a delivered message as seen by the receiver.
@@ -58,6 +57,10 @@ type Stats struct {
 	BytesPut int64
 	Fences   int
 	Flushes  int
+
+	// Faults counts injected faults and transport recovery work;
+	// all-zero unless a FaultPlan was attached to the Config.
+	Faults FaultStats
 }
 
 // Result is returned by Run.
@@ -92,6 +95,7 @@ type request struct {
 	meta      int
 	extra     float64 // additional arrival latency (protocol surcharge)
 	proto     float64 // per-message resource occupancy (two-sided protocol processing)
+	deadline  float64 // match watchdog deadline (0 = wait forever)
 	unmatched bool
 }
 
@@ -107,6 +111,9 @@ type Proc struct {
 	resp     Packet
 	blocked  bool
 	pending  pktKey
+	deadline float64 // watchdog deadline of the blocked match (0 = none)
+	timedOut bool
+	crashed  bool
 	mailbox  map[pktKey][]Packet
 	buffered int // matchable packets queued (unexpected-queue length)
 	done     bool
@@ -219,6 +226,22 @@ func (p *Proc) Recv(src, tag int) Packet {
 	return p.resp
 }
 
+// RecvDeadline is Recv with a virtual-time watchdog: if no matching
+// message can arrive by the deadline, it returns ok == false with the
+// rank's clock advanced to the deadline. A deadline of 0 waits forever
+// (plain Recv). The timeout fires only once the engine has no other
+// runnable work — exactly the condition under which the receive would
+// otherwise hang — so healthy traffic is never cut short.
+func (p *Proc) RecvDeadline(src, tag int, deadline float64) (Packet, bool) {
+	p.req = request{kind: reqMatch, src: src, tag: tag, deadline: deadline}
+	p.yield()
+	if p.timedOut {
+		p.timedOut = false
+		return Packet{}, false
+	}
+	return p.resp, true
+}
+
 func (p *Proc) yield() {
 	p.eng.yieldCh <- p
 	<-p.wake
@@ -234,6 +257,11 @@ type Engine struct {
 	yieldCh chan *Proc
 	ready   procHeap
 	stats   Stats
+	inj     *injector // nil unless cfg.Faults is set
+	// check selects error-collecting mode (RunChecked): rank panics and
+	// deadlocks become a returned error instead of an engine panic.
+	check bool
+	fails []RankFailure
 }
 
 // Run executes body once per rank of the machine described by cfg and
@@ -241,6 +269,23 @@ type Engine struct {
 // interact through their Proc handles only. Run panics if the rank
 // programs deadlock or if any body panics.
 func Run(cfg Config, body func(*Proc)) Result {
+	res, err := run(cfg, body, false)
+	if err != nil {
+		panic(err) // unreachable: unchecked mode panics at the source
+	}
+	return res
+}
+
+// RunChecked is Run for hostile conditions: a panicking rank body or a
+// deadlock does not panic the engine but terminates the run and is
+// reported in the returned *RunError (with the partial Result of the
+// ranks that did finish). Use it with a FaultPlan so crashed ranks and
+// exhausted retries surface as diagnostics instead of program aborts.
+func RunChecked(cfg Config, body func(*Proc)) (Result, error) {
+	return run(cfg, body, true)
+}
+
+func run(cfg Config, body func(*Proc), check bool) (Result, error) {
 	cfg.validate()
 	// The engine is strictly cooperative (one runnable goroutine at any
 	// moment); pinning to one OS thread avoids cross-core channel
@@ -254,6 +299,10 @@ func Run(cfg Config, body func(*Proc)) Result {
 		ingress: make([]resource, cfg.Nodes),
 		bus:     make([]resource, cfg.Nodes),
 		yieldCh: make(chan *Proc),
+		check:   check,
+	}
+	if cfg.Faults != nil {
+		eng.inj = newInjector(cfg.Faults, &eng.stats.Faults)
 	}
 	for r := 0; r < n; r++ {
 		p := &Proc{
@@ -283,11 +332,28 @@ func Run(cfg Config, body func(*Proc)) Result {
 			alive--
 		}
 	}
+	var deadlock *DeadlockError
 	for alive > 0 {
 		if eng.ready.Len() == 0 {
-			eng.reportDeadlock()
+			if eng.fireDeadline() {
+				continue
+			}
+			deadlock = eng.deadlockDiag()
+			if !eng.check {
+				panic(deadlock.Error() + "\n")
+			}
+			break
 		}
 		p := heap.Pop(&eng.ready).(*Proc)
+		if eng.inj != nil && !p.crashed && eng.inj.crashed(p.rank, p.clock) {
+			// The rank dies here: its request is discarded and it is
+			// never resumed. Peers observe the silence through watchdog
+			// deadlines or the deadlock diagnostic.
+			p.crashed = true
+			eng.stats.Faults.Crashes++
+			alive--
+			continue
+		}
 		switch p.req.kind {
 		case reqDeliver:
 			eng.deliver(p)
@@ -296,14 +362,25 @@ func Run(cfg Config, body func(*Proc)) Result {
 			}
 		case reqMatch:
 			key := pktKey{p.req.src, p.req.tag}
-			if q := p.mailbox[key]; len(q) > 0 {
+			if q := p.mailbox[key]; len(q) > 0 && (p.req.deadline == 0 || q[0].Arrival <= p.req.deadline) {
 				eng.completeMatch(p, key)
+				if eng.resume(p) {
+					alive--
+				}
+			} else if q := p.mailbox[key]; len(q) > 0 && p.req.deadline > 0 {
+				// A message is queued but arrives after the deadline:
+				// the watchdog fires at the deadline instant.
+				if p.req.deadline > p.clock {
+					p.clock = p.req.deadline
+				}
+				p.timedOut = true
 				if eng.resume(p) {
 					alive--
 				}
 			} else {
 				p.blocked = true
 				p.pending = key
+				p.deadline = p.req.deadline
 			}
 		case reqResolved:
 			if eng.resume(p) {
@@ -320,7 +397,10 @@ func Run(cfg Config, body func(*Proc)) Result {
 			res.Time = p.clock
 		}
 	}
-	return res
+	if len(eng.fails) > 0 || deadlock != nil {
+		return res, &RunError{Failures: eng.fails, Deadlock: deadlock}
+	}
+	return res, nil
 }
 
 // resume transfers control to p until it yields again; it returns true
@@ -330,7 +410,10 @@ func (eng *Engine) resume(p *Proc) (finished bool) {
 	q := <-eng.yieldCh
 	if q.done {
 		if q.err != nil {
-			panic(q.err)
+			if !eng.check {
+				panic(q.err)
+			}
+			eng.fails = append(eng.fails, RankFailure{Rank: q.rank, Value: q.err})
 		}
 		return true
 	}
@@ -338,12 +421,51 @@ func (eng *Engine) resume(p *Proc) (finished bool) {
 	return false
 }
 
+// fireDeadline resolves the earliest watchdog deadline among blocked
+// receivers when no other work remains: that receiver resumes with a
+// timeout, its clock advanced to the deadline. Returns false when no
+// blocked proc carries a deadline (a true deadlock).
+func (eng *Engine) fireDeadline() bool {
+	var victim *Proc
+	for _, p := range eng.procs {
+		if !p.blocked || p.deadline == 0 {
+			continue
+		}
+		if victim == nil || p.deadline < victim.deadline ||
+			(p.deadline == victim.deadline && p.rank < victim.rank) {
+			victim = p
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	victim.blocked = false
+	if victim.deadline > victim.clock {
+		victim.clock = victim.deadline
+	}
+	victim.deadline = 0
+	victim.timedOut = true
+	victim.req.kind = reqResolved
+	heap.Push(&eng.ready, victim)
+	return true
+}
+
 // deliver processes a send request: books the path resources, computes
 // the arrival time, and hands the packet to the destination (resolving a
-// blocked receiver if one is waiting on the matching key).
+// blocked receiver if one is waiting on the matching key). With a fault
+// injector attached it also decides the message's fate: sender stalls,
+// degraded bandwidth, latency spikes, transparent transport retries
+// (each adding backoff delay to the arrival), permanent loss, silent
+// payload corruption, and duplicate delivery.
 func (eng *Engine) deliver(p *Proc) {
 	req := &p.req
 	cfg := &eng.cfg
+	inj := eng.inj
+	if inj != nil {
+		if st := inj.stall(); st > 0 {
+			p.clock += st
+		}
+	}
 	injected := p.clock + cfg.SendOverhead
 	srcNode, dstNode := p.node, cfg.NodeOf(req.dst)
 
@@ -357,13 +479,21 @@ func (eng *Engine) deliver(p *Proc) {
 		eng.stats.BytesLocal += int64(req.bytes)
 		kind = "local"
 	case srcNode == dstNode:
-		ser = float64(req.bytes)/cfg.IntraBW + req.proto
+		bw := cfg.IntraBW
+		if inj != nil {
+			bw *= inj.bwFactor(srcNode, srcNode)
+		}
+		ser = float64(req.bytes)/bw + req.proto
 		start, end = eng.bus[srcNode].reserve(injected, ser)
 		latency = cfg.IntraLatency
 		eng.stats.BytesIntra += int64(req.bytes)
 		kind = "intra"
 	default:
-		ser = float64(req.bytes)/cfg.InterBW + req.proto
+		bw := cfg.InterBW
+		if inj != nil {
+			bw *= inj.bwFactor(srcNode, dstNode)
+		}
+		ser = float64(req.bytes)/bw + req.proto
 		start, end = reservePair(&eng.egress[srcNode], &eng.ingress[dstNode], injected, ser)
 		latency = cfg.InterLatency
 		eng.stats.BytesInter += int64(req.bytes)
@@ -374,27 +504,56 @@ func (eng *Engine) deliver(p *Proc) {
 		eng.stats.Puts++
 		eng.stats.BytesPut += int64(req.bytes)
 	}
+	extra := req.extra
+	payload := req.payload
+	lost := false
+	duplicated := false
+	if inj != nil && req.dst != p.rank {
+		extra += inj.spike()
+		delay, l := inj.transfer()
+		extra += delay
+		lost = l
+		if !lost {
+			if bad := inj.corrupt(payload, req.unmatched); bad != nil {
+				payload = bad
+			}
+			duplicated = inj.duplicate()
+		}
+	}
 	if cfg.Tracer != nil {
 		cfg.Tracer(TraceEvent{
 			Src: p.rank, Dst: req.dst, Tag: req.tag, Bytes: req.bytes,
 			Kind: kind, SrcNode: srcNode, DstNode: dstNode,
-			Injected: injected, End: end, Arrival: end + latency + req.extra,
+			Injected: injected, End: end, Arrival: end + latency + extra,
 			Start: start, Ser: ser,
 		})
 	}
 
-	pkt := Packet{Src: p.rank, Tag: req.tag, Payload: req.payload, Bytes: req.bytes, Meta: req.meta, Arrival: end + latency + req.extra, unmatched: req.unmatched}
+	pkt := Packet{Src: p.rank, Tag: req.tag, Payload: payload, Bytes: req.bytes, Meta: req.meta, Arrival: end + latency + extra, unmatched: req.unmatched}
 	p.resp = pkt
+	p.clock = injected
+	if lost {
+		// The transport gave up: the sender proceeds (it cannot know),
+		// the receiver never sees the packet — its watchdog deadline or
+		// the deadlock diagnostic reports the hole.
+		return
+	}
 	dst := eng.procs[req.dst]
 	key := pktKey{p.rank, req.tag}
-	dst.mailbox[key] = append(dst.mailbox[key], pkt)
-	if !pkt.unmatched {
-		dst.buffered++
+	copies := 1
+	if duplicated {
+		copies = 2
 	}
-	p.clock = injected
+	for i := 0; i < copies; i++ {
+		dst.mailbox[key] = append(dst.mailbox[key], pkt)
+		if !pkt.unmatched {
+			dst.buffered++
+		}
+	}
 
-	if dst.blocked && dst.pending == key {
+	if dst.blocked && dst.pending == key && (dst.deadline == 0 || pkt.Arrival <= dst.deadline) {
 		dst.blocked = false
+		dst.deadline = 0
 		eng.completeMatch(dst, key)
 		dst.req.kind = reqResolved
 		heap.Push(&eng.ready, dst)
@@ -429,24 +588,16 @@ func (eng *Engine) completeMatch(p *Proc, key pktKey) {
 	p.resp = pkt
 }
 
-func (eng *Engine) reportDeadlock() {
-	var waiting []string
+// deadlockDiag builds the structural deadlock diagnostic: every blocked
+// rank's pending (src, tag) at its current clock, in rank order.
+func (eng *Engine) deadlockDiag() *DeadlockError {
+	d := &DeadlockError{}
 	for _, p := range eng.procs {
 		if p.blocked {
-			waiting = append(waiting, fmt.Sprintf("rank %d waits for (src=%d, tag=%d) at t=%.3gs",
-				p.rank, p.pending.src, p.pending.tag, p.clock))
+			d.Blocked = append(d.Blocked, BlockedOp{Rank: p.rank, Src: p.pending.src, Tag: p.pending.tag, Clock: p.clock})
 		}
 	}
-	sort.Strings(waiting)
-	msg := "netsim: deadlock — all ranks blocked:\n"
-	for i, w := range waiting {
-		if i == 16 {
-			msg += fmt.Sprintf("  ... and %d more\n", len(waiting)-16)
-			break
-		}
-		msg += "  " + w + "\n"
-	}
-	panic(msg)
+	return d
 }
 
 // procHeap orders procs by clock (rank breaks ties for determinism).

@@ -247,6 +247,25 @@ func TestDiffGate(t *testing.T) {
 	if d := analyze.Diff(base, &missing, 0.10); !d.Regressed() {
 		t.Error("missing row passed the gate")
 	}
+
+	// A row whose numbers were earned on a degraded path (repairs,
+	// fallback, losses) fails the gate even when its metrics are within
+	// threshold: they are not comparable to the baseline's fast path.
+	degraded := *base
+	degraded.Rows = append([]analyze.Row(nil), base.Rows...)
+	degraded.Rows[2].Faults = &analyze.FaultRow{Retries: 4, Repairs: 2}
+	d = analyze.Diff(base, &degraded, 0.10)
+	if !d.Regressed() || len(d.Degraded) != 1 || d.Degraded[0] != "osc/24" {
+		t.Errorf("degraded row not flagged: %+v", d)
+	}
+
+	// Transparent transport retries alone are not a degradation.
+	retried := *base
+	retried.Rows = append([]analyze.Row(nil), base.Rows...)
+	retried.Rows[2].Faults = &analyze.FaultRow{Drops: 3, Retries: 3}
+	if d := analyze.Diff(base, &retried, 0.10); d.Regressed() {
+		t.Errorf("retry-only row failed the gate: %+v", d)
+	}
 }
 
 // TestArtifactRoundTrip: write, load, schema validation.

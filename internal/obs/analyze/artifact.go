@@ -46,6 +46,51 @@ type Row struct {
 	// Analysis is the trace summary (critical path, utilization,
 	// overlap) when the run was traced.
 	Analysis *Summary `json:"analysis,omitempty"`
+	// Faults holds the run's fault-injection and recovery counters (nil
+	// for fault-free runs, which keeps committed baselines unchanged).
+	Faults *FaultRow `json:"faults,omitempty"`
+}
+
+// FaultRow is one row's fault/recovery ledger, populated from the
+// metric registry when a run injected faults. Benchdiff uses it to flag
+// rows whose numbers were earned on a degraded path (retries, repairs,
+// per-peer fallback) rather than the fast path the baseline measured.
+type FaultRow struct {
+	Drops           int64 `json:"drops,omitempty"`
+	DetectedCorrupt int64 `json:"detected_corrupt,omitempty"`
+	SilentCorrupt   int64 `json:"silent_corrupt,omitempty"`
+	Duplicates      int64 `json:"duplicates,omitempty"`
+	Retries         int64 `json:"retries,omitempty"`
+	Lost            int64 `json:"lost,omitempty"`
+	Crashes         int64 `json:"crashes,omitempty"`
+	Repairs         int64 `json:"repairs,omitempty"`
+	FallbackPeers   int64 `json:"fallback_peers,omitempty"`
+}
+
+// Degraded reports whether the row left the fast path: recovery work
+// beyond transparent transport retries.
+func (f *FaultRow) Degraded() bool {
+	return f != nil && (f.Lost > 0 || f.Crashes > 0 || f.Repairs > 0 || f.FallbackPeers > 0)
+}
+
+// FaultRowFrom extracts the fault counters of a run's metric registry;
+// nil when the run saw no faults at all.
+func FaultRowFrom(m *obs.Metrics) *FaultRow {
+	f := FaultRow{
+		Drops:           m.Counter("fault/drops"),
+		DetectedCorrupt: m.Counter("fault/detected_corrupt"),
+		SilentCorrupt:   m.Counter("fault/silent_corrupt"),
+		Duplicates:      m.Counter("fault/duplicates"),
+		Retries:         m.Counter("fault/retries"),
+		Lost:            m.Counter("fault/lost"),
+		Crashes:         m.Counter("fault/crashes"),
+		Repairs:         m.Counter("exchange/repairs"),
+		FallbackPeers:   m.Counter("exchange/fallback_peers"),
+	}
+	if f == (FaultRow{}) {
+		return nil
+	}
+	return &f
 }
 
 // CompressionRow is the achieved compression of one labelled exchange.

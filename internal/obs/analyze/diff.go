@@ -9,8 +9,8 @@ import (
 // relative worsening: positive means the new run is worse (slower, or
 // less bandwidth), independent of the metric's direction.
 type DiffLine struct {
-	Row    string  // "name/gpus"
-	Metric string  // "seconds", "node_bw", "max_error"
+	Row    string // "name/gpus"
+	Metric string // "seconds", "node_bw", "max_error"
 	Old    float64
 	New    float64
 	Delta  float64
@@ -28,11 +28,16 @@ type DiffResult struct {
 	// bench must fail the gate). Added lists new rows with no baseline.
 	Missing []string
 	Added   []string
+	// Degraded lists new rows measured on a degraded path (lost
+	// messages, crashes, self-healing repairs, or per-peer fallback)
+	// when their baseline was not: those numbers are not comparable to
+	// the fast path the baseline recorded, so the gate fails.
+	Degraded []string
 }
 
 // Regressed reports whether the gate should fail.
 func (d DiffResult) Regressed() bool {
-	return len(d.Regressions) > 0 || len(d.Missing) > 0
+	return len(d.Regressions) > 0 || len(d.Missing) > 0 || len(d.Degraded) > 0
 }
 
 // Diff compares two artifacts row by row (matched on name and GPU
@@ -80,6 +85,9 @@ func Diff(oldA, newA *Artifact, threshold float64) DiffResult {
 		compare("seconds", or.Seconds, nr.Seconds, true)
 		compare("node_bw", or.NodeBW, nr.NodeBW, false)
 		compare("max_error", or.MaxError, nr.MaxError, true)
+		if nr.Faults.Degraded() && !or.Faults.Degraded() {
+			d.Degraded = append(d.Degraded, rowName(nr))
+		}
 	}
 	for _, r := range newA.Rows {
 		if !seen[key{r.Name, r.GPUs}] {
@@ -99,6 +107,9 @@ func (d DiffResult) WriteText(w io.Writer) {
 	}
 	for _, m := range d.Missing {
 		fmt.Fprintf(w, "REGRESSION %-24s missing from new artifact\n", m)
+	}
+	for _, g := range d.Degraded {
+		fmt.Fprintf(w, "DEGRADED   %-24s measured on a degraded path (repairs/fallback/losses); not comparable to baseline\n", g)
 	}
 	for _, l := range d.Improvements {
 		fmt.Fprintf(w, "improved   %-24s %-9s %.4g -> %.4g (%+.1f%%)\n",
