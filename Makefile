@@ -1,6 +1,6 @@
 # Convenience targets; the repo needs only the Go toolchain.
 
-.PHONY: build test verify trace-demo bench benchdiff chaos chaos-race clean
+.PHONY: build test verify verify-parallel trace-demo bench benchdiff chaos chaos-race clean
 
 build:
 	go build ./...
@@ -9,15 +9,36 @@ test:
 	go test ./...
 
 # verify is the tier-1 recipe from ROADMAP.md: full build + tests, vet,
-# and the race detector over the packages used from concurrent rank
-# goroutines (the observability layer, the exchange backends, the mpi
-# runtime, and the simulator engine itself).
+# the race detector over every package (rank bodies execute truly
+# concurrently when the parallel engine is on, so all of them must be
+# race-clean), the fixed-seed determinism smoke proving the parallel
+# engine bit-identical to the sequential one, and fixed-seed chaos
+# sweeps — one per engine mode, plus one under the race detector.
 verify:
 	go build ./...
 	go test ./...
 	go vet ./...
-	go test -race ./internal/obs/... ./internal/exchange/... ./internal/mpi/... ./internal/netsim/...
+	go test -race ./...
+	go test -run TestParallelEquivalenceSmoke ./internal/exchange/
 	go run ./cmd/chaos -seeds 8
+	go run ./cmd/chaos -seeds 8 -parallel
+	go run -race ./cmd/chaos -seeds 8
+
+# verify-parallel re-runs the tier-1 tests with NETSIM_PARALLEL=1, which
+# forces every netsim run in the tree onto the parallel engine — the
+# whole test suite doubles as a determinism suite because all its
+# expectations were recorded against the sequential engine. The bench
+# artifacts regenerated under -parallel must also diff clean against the
+# committed sequential baselines (virtual times are bit-identical).
+verify-parallel:
+	NETSIM_PARALLEL=1 go test ./...
+	NETSIM_PARALLEL=1 go test -race ./internal/obs/... ./internal/exchange/... ./internal/mpi/... ./internal/netsim/... ./internal/core/...
+	$(eval TMP := $(shell mktemp -d))
+	go run ./cmd/fftbench $(BENCH_FFT_FLAGS) -parallel -json $(TMP)/fft.json > /dev/null
+	go run ./cmd/alltoallbench $(BENCH_A2A_FLAGS) -parallel -json $(TMP)/alltoall.json > /dev/null
+	go run ./cmd/benchdiff BENCH_fft.json $(TMP)/fft.json
+	go run ./cmd/benchdiff BENCH_alltoall.json $(TMP)/alltoall.json
+	rm -rf $(TMP)
 
 # chaos sweeps randomized seeded fault plans (drop storms, corruption,
 # duplicates, degraded NICs, rank crashes) across every exchange
@@ -27,9 +48,11 @@ verify:
 chaos:
 	go run ./cmd/chaos -seeds 60
 
-# chaos-race soaks the same sweep under the race detector.
+# chaos-race soaks the same sweep under the race detector, in both
+# engine modes (the parallel engine runs rank bodies on real threads).
 chaos-race:
 	go run -race ./cmd/chaos -seeds 25
+	go run -race ./cmd/chaos -seeds 25 -parallel
 
 # trace-demo runs a small compressed strong-scaling cell and writes a
 # Chrome-trace JSON (open in chrome://tracing or ui.perfetto.dev) plus

@@ -38,6 +38,7 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "print the metrics report of the last measured cell")
 	jsonFlag := flag.String("json", "", "write the machine-readable bench artifact to this file")
 	faultsFlag := flag.Int64("faults", 0, "inject the seeded fault plan netsim.RandomPlan(seed); 0 disables (docs/ROBUSTNESS.md)")
+	parallelFlag := flag.Bool("parallel", false, "run the simulator's parallel engine (bit-identical results; docs/DETERMINISM.md)")
 	flag.Parse()
 
 	gpus, err := parseInts(*gpusFlag)
@@ -85,6 +86,7 @@ func main() {
 		for i, a := range algos {
 			rec := obs.New(obs.Options{Trace: recording, Metrics: true})
 			machine := netsim.Summit(g / 6)
+			machine.Parallel = *parallelFlag
 			if *faultsFlag != 0 {
 				machine.Faults = netsim.RandomPlan(*faultsFlag)
 			}

@@ -189,8 +189,9 @@ func explicit(err error) bool {
 
 // runOne executes one (seed, workload) cell under a wall-clock hang
 // guard and classifies the outcome.
-func runOne(seed int64, name string, body func(*mpi.Comm, *report), timeout time.Duration, verbose bool) (outcome, string) {
+func runOne(seed int64, name string, body func(*mpi.Comm, *report), timeout time.Duration, verbose, parallel bool) (outcome, string) {
 	cfg := netsim.Summit(1)
+	cfg.Parallel = parallel
 	cfg.Faults = netsim.RandomPlan(seed)
 	if cfg.Faults.CrashAt > 0 {
 		// RandomPlan times crashes for benchmark-scale runs; rescale into
@@ -247,6 +248,7 @@ func main() {
 	workloadsFlag := flag.String("workloads", "linear,pairwise,osc,osc-comp,osc-comp16", "exchange workloads to sweep")
 	timeout := flag.Duration("timeout", 60*time.Second, "wall-clock hang guard per run")
 	verbose := flag.Bool("v", false, "print every cell, not just summaries and violations")
+	parallel := flag.Bool("parallel", false, "run the simulator's parallel engine (verdicts are bit-identical; docs/DETERMINISM.md)")
 	flag.Parse()
 
 	var names []string
@@ -267,7 +269,7 @@ func main() {
 		scenario := netsim.RandomPlan(seed).Scenario()
 		scenarios[scenario]++
 		for _, name := range names {
-			out, detail := runOne(seed, name, workloads[name], *timeout, *verbose)
+			out, detail := runOne(seed, name, workloads[name], *timeout, *verbose, *parallel)
 			if counts[name] == nil {
 				counts[name] = map[outcome]int{}
 			}

@@ -118,6 +118,7 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "print the phase-breakdown/metrics report of the last measured cell")
 	jsonFlag := flag.String("json", "", "write the machine-readable bench artifact to this file")
 	faultsFlag := flag.Int64("faults", 0, "inject the seeded fault plan netsim.RandomPlan(seed); 0 disables (docs/ROBUSTNESS.md)")
+	parallelFlag := flag.Bool("parallel", false, "run the simulator's parallel engine (bit-identical results; docs/DETERMINISM.md)")
 	flag.Parse()
 
 	n := [3]int{*nFlag, *nFlag, *nFlag}
@@ -175,6 +176,7 @@ func main() {
 			continue
 		}
 		machine := netsim.Summit(g / 6)
+		machine.Parallel = *parallelFlag
 		if *faultsFlag != 0 {
 			machine.Faults = netsim.RandomPlan(*faultsFlag)
 		}

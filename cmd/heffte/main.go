@@ -64,6 +64,7 @@ func main() {
 	fp32 := flag.Bool("fp32", false, "run the full FP32 pipeline instead of FP64")
 	traceFlag := flag.String("trace", "", "write a Chrome-trace JSON of the run to this file")
 	metricsFlag := flag.Bool("metrics", false, "print the phase-breakdown/metrics report")
+	parallelFlag := flag.Bool("parallel", false, "run the simulator's parallel engine (bit-identical results; docs/DETERMINISM.md)")
 	flag.Parse()
 
 	if *gpus%6 != 0 {
@@ -104,6 +105,7 @@ func main() {
 	}
 
 	cfg := netsim.Summit(*gpus / 6)
+	cfg.Parallel = *parallelFlag
 	rec := obs.New(obs.Options{Trace: *traceFlag != "", Metrics: true})
 	var r core.Result
 	if *fp32 {

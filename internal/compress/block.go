@@ -46,11 +46,13 @@ func (b Block) MaxCompressedLen(n int) int {
 }
 
 // ErrorBound implements Method. Coefficient truncation at 2^-Bits is
-// amplified by the inverse lifting gain (≤4) and the 2-bit headroom
-// shift, giving a worst case of 16·2^-Bits relative to the block's
-// largest magnitude (bound verified empirically in the tests).
+// amplified by the inverse lifting gain and the 2-bit headroom shift;
+// the worst case observed across wide-dynamic-range random blocks is
+// ≈28.5·2^-Bits relative to the block's largest magnitude (the
+// property suite sweeps this), so the advertised envelope is the next
+// power of two, 32·2^-Bits.
 func (b Block) ErrorBound() float64 {
-	return 16 * math.Ldexp(1, -int(b.Bits))
+	return 32 * math.Ldexp(1, -int(b.Bits))
 }
 
 // Compress implements Method.

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/netsim"
+)
+
+// TestParallelMeasureMatchesSequential runs the full distributed FFT
+// pipeline — plan construction, reshapes, compression kernels on the
+// GPU model, accuracy round trip — under both engine modes and demands
+// bit-identical Results. This is the top-of-stack determinism check:
+// everything below (exchange, mpi, gpu, netsim) must agree for these
+// numbers to match exactly.
+func TestParallelMeasureMatchesSequential(t *testing.T) {
+	n := [3]int{16, 16, 16}
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"alltoallv", Options{Backend: BackendAlltoallv}},
+		{"osc", Options{Backend: BackendOSC}},
+		{"compressed-32", Options{Backend: BackendCompressed, Method: compress.Cast32{}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := netsim.Summit(1)
+			seq := Measure[complex128](cfg, n, tc.opts, 1, true)
+			cfg.Parallel = true
+			par := Measure[complex128](cfg, n, tc.opts, 1, true)
+			if seq.ForwardTime != par.ForwardTime || seq.Gflops != par.Gflops {
+				t.Errorf("times differ: seq %v/%v par %v/%v",
+					seq.ForwardTime, seq.Gflops, par.ForwardTime, par.Gflops)
+			}
+			if seq.RelErr != par.RelErr && !(math.IsNaN(seq.RelErr) && math.IsNaN(par.RelErr)) {
+				t.Errorf("RelErr differs: seq %v par %v", seq.RelErr, par.RelErr)
+			}
+			if seq.Stats != par.Stats {
+				t.Errorf("Stats differ:\nseq %+v\npar %+v", seq.Stats, par.Stats)
+			}
+			if !reflect.DeepEqual(seq.Profile, par.Profile) {
+				t.Errorf("profiles differ:\nseq %+v\npar %+v", seq.Profile, par.Profile)
+			}
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+)
+
+// winBody drives the one-sided runtime hard from every rank at once:
+// window creation (a collective), puts, fences, and flush counting.
+// Under the parallel engine all of this happens on concurrent OS
+// threads — it is the regression test for the shared Stats counters
+// that CountFence/CountFlush used to bump directly (a data race the
+// old code path exhibits under `go test -race` with NETSIM_PARALLEL=1;
+// the counters are per-proc now, merged at the end of the run).
+func winBody(t *testing.T) func(*Comm) {
+	return func(c *Comm) {
+		p := c.Size()
+		buf := make([]byte, p)
+		w := c.WinCreate(buf)
+		expected := make([]int, p)
+		for epoch := 0; epoch < 3; epoch++ {
+			for d := 0; d < p; d++ {
+				w.Put(d, c.Rank(), []byte{byte(c.Rank() + epoch)})
+				c.CountFlush()
+			}
+			for i := range expected {
+				expected[i] = 1
+			}
+			w.Fence(expected)
+			for s := 0; s < p; s++ {
+				if buf[s] != byte(s+epoch) {
+					t.Errorf("rank %d epoch %d: slot %d = %d", c.Rank(), epoch, s, buf[s])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelWindowsRaceFree is primarily a -race canary (the verify
+// tier runs this package with the race detector both sequentially and
+// with NETSIM_PARALLEL=1); it also pins the fence/flush totals.
+func TestParallelWindowsRaceFree(t *testing.T) {
+	cfg := netsim.Summit(2)
+	cfg.Parallel = true
+	res := Run(cfg, winBody(t))
+	p := cfg.Ranks()
+	if want := 3 * p; res.Stats.Fences != want {
+		t.Errorf("fences = %d, want %d", res.Stats.Fences, want)
+	}
+	if want := 3 * p * p; res.Stats.Flushes != want {
+		t.Errorf("flushes = %d, want %d", res.Stats.Flushes, want)
+	}
+}
+
+// TestParallelWindowsMatchSequential: the full one-sided path (window
+// cache, puts, fences, reliable framing off) is bit-identical across
+// engine modes, including the recorder's metrics snapshot.
+func TestParallelWindowsMatchSequential(t *testing.T) {
+	run := func(parallel bool) (netsim.Result, map[string]int64) {
+		cfg := netsim.Summit(2)
+		cfg.Parallel = parallel
+		rec := obs.New(obs.Options{Metrics: true})
+		res := RunWith(cfg, rec, winBody(t))
+		counters := map[string]int64{}
+		for _, name := range rec.Metrics().CounterNames() {
+			counters[name] = rec.Metrics().Counter(name)
+		}
+		return res, counters
+	}
+	seqRes, seqCtr := run(false)
+	parRes, parCtr := run(true)
+	if seqRes.Time != parRes.Time || !reflect.DeepEqual(seqRes.Clocks, parRes.Clocks) || seqRes.Stats != parRes.Stats {
+		t.Errorf("window runs differ:\nseq %+v\npar %+v", seqRes, parRes)
+	}
+	if !reflect.DeepEqual(seqCtr, parCtr) {
+		t.Errorf("metric counters differ:\nseq %v\npar %v", seqCtr, parCtr)
+	}
+}
+
+// TestParallelReliableMatchesSequential: the reliable transport (CRC
+// frames, sequence tracking, watchdogs) under a fault plan is
+// bit-identical across modes at the mpi layer too.
+func TestParallelReliableMatchesSequential(t *testing.T) {
+	run := func(parallel bool) (netsim.Result, string, [][]byte) {
+		cfg := netsim.Summit(1)
+		cfg.Parallel = parallel
+		cfg.Faults = &netsim.FaultPlan{Seed: 11, DropProb: 0.15, CorruptProb: 0.05,
+			Retry: netsim.RetryPolicy{MaxRetries: 6, RTO: 5e-6, Backoff: 2}}
+		got := make([][]byte, cfg.Ranks())
+		res, err := RunChecked(cfg, func(c *Comm) {
+			p := c.Size()
+			for d := 0; d < p; d++ {
+				c.Send(d, 5, []byte{byte(c.Rank()), byte(d)})
+			}
+			for s := 0; s < p; s++ {
+				got[c.Rank()] = append(got[c.Rank()], c.Recv(s, 5)...)
+			}
+		})
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		return res, msg, got
+	}
+	seqRes, seqErr, seqGot := run(false)
+	parRes, parErr, parGot := run(true)
+	if seqRes.Time != parRes.Time || seqRes.Stats != parRes.Stats {
+		t.Errorf("reliable runs differ:\nseq %+v\npar %+v", seqRes.Stats, parRes.Stats)
+	}
+	if seqErr != parErr {
+		t.Errorf("diagnostics differ:\nseq %q\npar %q", seqErr, parErr)
+	}
+	for r := range seqGot {
+		if !bytes.Equal(seqGot[r], parGot[r]) {
+			t.Errorf("rank %d payloads differ", r)
+		}
+	}
+}

@@ -72,6 +72,19 @@ type Config struct {
 	// rank count grows (Fig. 3); one-sided puts bypass matching.
 	MatchCost     float64
 	MatchQueueCap int
+
+	// Parallel selects the conservative parallel execution mode: rank
+	// bodies execute truly concurrently across OS cores between their
+	// communication events, while the engine serializes event processing
+	// in the exact (virtual clock, rank) order of the sequential
+	// scheduler. Every output — virtual times, Stats, FaultStats, trace
+	// events, exchanged payloads — is bit-identical to Parallel == false;
+	// the win is wall-clock, on workloads whose rank bodies carry real
+	// CPU work (compression kernels, FFT models, CRC framing). See
+	// docs/DETERMINISM.md for the equivalence contract. The environment
+	// variable NETSIM_PARALLEL=1 forces this mode for every run (the
+	// `make verify-parallel` tier).
+	Parallel bool
 }
 
 // Summit returns the machine model used throughout the reproduction,

@@ -3,7 +3,10 @@ package netsim
 import (
 	"container/heap"
 	"fmt"
+	"os"
 	"runtime"
+	"sort"
+	"sync"
 )
 
 // Packet is a delivered message as seen by the receiver.
@@ -119,6 +122,22 @@ type Proc struct {
 	done     bool
 	err      interface{} // recovered panic value
 	heapIdx  int
+
+	// One-sided synchronization counters (CountFence/CountFlush). They
+	// are per-proc — rank bodies increment them while running, which in
+	// parallel mode happens on many OS threads at once — and are merged
+	// into Stats in rank order when the run finishes, so the totals are
+	// identical in both modes.
+	fences  int
+	flushes int
+
+	// Parallel-mode scheduler state (owned by the scheduler goroutine):
+	// lb is the lower bound on the virtual time of this proc's next
+	// request while its body runs concurrently (the clock at resume —
+	// clocks only grow inside a body), runIdx its slot in the running
+	// heap.
+	lb     float64
+	runIdx int
 }
 
 // Rank returns this rank's id.
@@ -155,11 +174,14 @@ func (p *Proc) AdvanceTo(t float64) {
 
 // CountFence and CountFlush let the runtime layer attribute one-sided
 // synchronization events (window fences, put-throttling flushes) to the
-// run's Stats; they do not touch the clock.
-func (p *Proc) CountFence() { p.eng.stats.Fences++ }
+// run's Stats; they do not touch the clock. The counts land in per-proc
+// counters (bodies run concurrently in parallel mode; a shared counter
+// here would be a data race) and are summed into Stats at the end of
+// the run.
+func (p *Proc) CountFence() { p.fences++ }
 
 // CountFlush counts one put-throttling flush wait (see CountFence).
-func (p *Proc) CountFlush() { p.eng.stats.Flushes++ }
+func (p *Proc) CountFlush() { p.flushes++ }
 
 // Send transfers a message of the given logical size toward dst, tagged
 // tag. payload may be nil for phantom transfers; it is handed to the
@@ -256,6 +278,9 @@ type Engine struct {
 	bus     []resource
 	yieldCh chan *Proc
 	ready   procHeap
+	// running holds the procs whose bodies are executing concurrently in
+	// parallel mode, ordered by (lb, rank); empty in sequential mode.
+	running runHeap
 	stats   Stats
 	inj     *injector // nil unless cfg.Faults is set
 	// check selects error-collecting mode (RunChecked): rank panics and
@@ -287,10 +312,25 @@ func RunChecked(cfg Config, body func(*Proc)) (Result, error) {
 
 func run(cfg Config, body func(*Proc), check bool) (Result, error) {
 	cfg.validate()
-	// The engine is strictly cooperative (one runnable goroutine at any
-	// moment); pinning to one OS thread avoids cross-core channel
-	// handoffs, which dominate wall time at large rank counts.
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	eng := newEngine(cfg, body, check)
+	if cfg.Parallel || envParallel() {
+		return eng.runParallel()
+	}
+	return eng.runSequential()
+}
+
+// envParallel reports whether NETSIM_PARALLEL forces the parallel
+// engine for every run regardless of Config.Parallel. It backs the
+// `make verify-parallel` tier: the whole test suite re-runs under the
+// parallel scheduler without per-test plumbing. Empty or "0" disables.
+var envParallel = sync.OnceValue(func() bool {
+	v := os.Getenv("NETSIM_PARALLEL")
+	return v != "" && v != "0"
+})
+
+// newEngine builds the engine and spawns one (parked) goroutine per
+// rank; nothing runs until the scheduler wakes it.
+func newEngine(cfg Config, body func(*Proc), check bool) *Engine {
 	n := cfg.Ranks()
 	eng := &Engine{
 		cfg:     cfg,
@@ -312,6 +352,7 @@ func run(cfg Config, body func(*Proc), check bool) (Result, error) {
 			wake:    make(chan struct{}),
 			mailbox: make(map[pktKey][]Packet),
 			heapIdx: -1,
+			runIdx:  -1,
 		}
 		eng.procs[r] = p
 		go func() {
@@ -324,8 +365,17 @@ func run(cfg Config, body func(*Proc), check bool) (Result, error) {
 			body(p)
 		}()
 	}
+	return eng
+}
 
-	alive := n
+// runSequential is the classic cooperative engine: exactly one rank
+// goroutine is runnable at any moment and the scheduler always resumes
+// the pending request with the smallest (clock, rank).
+func (eng *Engine) runSequential() (Result, error) {
+	// Pinning to one OS thread avoids cross-core channel handoffs,
+	// which dominate wall time at large rank counts.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	alive := len(eng.procs)
 	// Bring every proc to its first request.
 	for _, p := range eng.procs {
 		if eng.resume(p) {
@@ -345,53 +395,132 @@ func run(cfg Config, body func(*Proc), check bool) (Result, error) {
 			break
 		}
 		p := heap.Pop(&eng.ready).(*Proc)
-		if eng.inj != nil && !p.crashed && eng.inj.crashed(p.rank, p.clock) {
-			// The rank dies here: its request is discarded and it is
-			// never resumed. Peers observe the silence through watchdog
-			// deadlines or the deadlock diagnostic.
-			p.crashed = true
-			eng.stats.Faults.Crashes++
+		if eng.discardCrashed(p) {
 			alive--
 			continue
 		}
-		switch p.req.kind {
-		case reqDeliver:
-			eng.deliver(p)
+		if !eng.process(p) {
 			if eng.resume(p) {
 				alive--
 			}
-		case reqMatch:
-			key := pktKey{p.req.src, p.req.tag}
-			if q := p.mailbox[key]; len(q) > 0 && (p.req.deadline == 0 || q[0].Arrival <= p.req.deadline) {
-				eng.completeMatch(p, key)
-				if eng.resume(p) {
-					alive--
-				}
-			} else if q := p.mailbox[key]; len(q) > 0 && p.req.deadline > 0 {
-				// A message is queued but arrives after the deadline:
-				// the watchdog fires at the deadline instant.
-				if p.req.deadline > p.clock {
-					p.clock = p.req.deadline
-				}
-				p.timedOut = true
-				if eng.resume(p) {
-					alive--
-				}
-			} else {
-				p.blocked = true
-				p.pending = key
-				p.deadline = p.req.deadline
-			}
-		case reqResolved:
-			if eng.resume(p) {
-				alive--
-			}
-		default:
-			panic("netsim: invalid request in scheduler")
 		}
 	}
-	res := Result{Stats: eng.stats, Clocks: make([]float64, n)}
+	return eng.finalize(deadlock)
+}
+
+// runParallel executes rank bodies truly concurrently while keeping
+// event processing in the exact total order of the sequential engine,
+// so every output is bit-identical (docs/DETERMINISM.md).
+//
+// The scheme is conservative lookahead over the yield protocol: a
+// resumed body owns its clock, which only grows, so the clock captured
+// at resume time (Proc.lb) is a lower bound on the virtual time of the
+// body's next request. The head of the ready heap is therefore safe to
+// process exactly when it sorts before (min lb, rank) over the running
+// set — no concurrently executing body can still produce an earlier
+// event. When the head is not safe the scheduler blocks for the next
+// yield, shrinking the running set until it is. All engine state
+// (resources, mailboxes, stats, fault injector, tracer) is touched only
+// by this scheduler goroutine, in the sequential processing order;
+// bodies only ever touch their own Proc between yields.
+func (eng *Engine) runParallel() (Result, error) {
+	alive := len(eng.procs)
+	// Launch every body; all of them run concurrently from the start.
+	for _, p := range eng.procs {
+		eng.resumeAsync(p)
+	}
+	var deadlock *DeadlockError
+loop:
+	for alive > 0 {
+		// Draining may retire the last finishers — re-check before
+		// concluding anything from an empty ready+running state.
+		if eng.drainYields(&alive); alive == 0 {
+			break
+		}
+		switch {
+		case eng.ready.Len() > 0 && eng.safeHead():
+			p := heap.Pop(&eng.ready).(*Proc)
+			if eng.discardCrashed(p) {
+				alive--
+				continue
+			}
+			if !eng.process(p) {
+				eng.resumeAsync(p)
+			}
+		case eng.running.Len() > 0:
+			// The earliest pending request may still come from a body
+			// that is executing; wait for one to yield or finish.
+			eng.admit(<-eng.yieldCh, &alive)
+		default:
+			// No body running, none ready: all live ranks are blocked —
+			// the exact condition of the sequential engine's idle path.
+			if eng.fireDeadline() {
+				continue
+			}
+			deadlock = eng.deadlockDiag()
+			if !eng.check {
+				panic(deadlock.Error() + "\n")
+			}
+			break loop
+		}
+	}
+	// Failures surfaced in wall-clock completion order; rank order makes
+	// the slice deterministic. (The sequential engine reports them in
+	// processing order instead, but RunError.Error sorts its lines, so
+	// rendered diagnostics match across modes.)
+	sort.Slice(eng.fails, func(i, j int) bool { return eng.fails[i].Rank < eng.fails[j].Rank })
+	return eng.finalize(deadlock)
+}
+
+// process handles p's pending request, returning true if p blocked on
+// an unmatched receive (and so must not be resumed).
+func (eng *Engine) process(p *Proc) (blocked bool) {
+	switch p.req.kind {
+	case reqDeliver:
+		eng.deliver(p)
+	case reqMatch:
+		key := pktKey{p.req.src, p.req.tag}
+		if q := p.mailbox[key]; len(q) > 0 && (p.req.deadline == 0 || q[0].Arrival <= p.req.deadline) {
+			eng.completeMatch(p, key)
+		} else if len(q) > 0 && p.req.deadline > 0 {
+			// A message is queued but arrives after the deadline:
+			// the watchdog fires at the deadline instant.
+			if p.req.deadline > p.clock {
+				p.clock = p.req.deadline
+			}
+			p.timedOut = true
+		} else {
+			p.blocked = true
+			p.pending = key
+			p.deadline = p.req.deadline
+			return true
+		}
+	case reqResolved:
+	default:
+		panic("netsim: invalid request in scheduler")
+	}
+	return false
+}
+
+// discardCrashed kills p at its scheduled crash time: the pending
+// request is dropped and p is never resumed. Peers observe the silence
+// through watchdog deadlines or the deadlock diagnostic.
+func (eng *Engine) discardCrashed(p *Proc) bool {
+	if eng.inj != nil && !p.crashed && eng.inj.crashed(p.rank, p.clock) {
+		p.crashed = true
+		eng.stats.Faults.Crashes++
+		return true
+	}
+	return false
+}
+
+// finalize merges the per-proc one-sided counters into Stats (in rank
+// order — the sums are mode-independent) and assembles the Result.
+func (eng *Engine) finalize(deadlock *DeadlockError) (Result, error) {
+	res := Result{Stats: eng.stats, Clocks: make([]float64, len(eng.procs))}
 	for i, p := range eng.procs {
+		res.Stats.Fences += p.fences
+		res.Stats.Flushes += p.flushes
 		res.Clocks[i] = p.clock
 		if p.clock > res.Time {
 			res.Time = p.clock
@@ -401,6 +530,59 @@ func run(cfg Config, body func(*Proc), check bool) (Result, error) {
 		return res, &RunError{Failures: eng.fails, Deadlock: deadlock}
 	}
 	return res, nil
+}
+
+// resumeAsync wakes p without waiting for its next yield (parallel
+// mode). p's clock at this instant becomes its running lower bound.
+func (eng *Engine) resumeAsync(p *Proc) {
+	p.lb = p.clock
+	heap.Push(&eng.running, p)
+	p.wake <- struct{}{}
+}
+
+// drainYields admits every yield already queued on yieldCh without
+// blocking, so the safety check sees the freshest running set.
+func (eng *Engine) drainYields(alive *int) {
+	for {
+		select {
+		case q := <-eng.yieldCh:
+			eng.admit(q, alive)
+		default:
+			return
+		}
+	}
+}
+
+// admit moves a yielded proc from the running set to the ready heap
+// (or retires it if its body finished).
+func (eng *Engine) admit(q *Proc, alive *int) {
+	heap.Remove(&eng.running, q.runIdx)
+	if q.done {
+		*alive--
+		if q.err != nil {
+			if !eng.check {
+				panic(q.err)
+			}
+			eng.fails = append(eng.fails, RankFailure{Rank: q.rank, Value: q.err})
+		}
+		return
+	}
+	heap.Push(&eng.ready, q)
+}
+
+// safeHead reports whether the ready heap's minimum request is ordered
+// before every request a running body could still produce — i.e. it
+// sorts strictly before (lb, rank) of the running heap's minimum. Ties
+// on the clock resolve by rank exactly as procHeap orders them.
+func (eng *Engine) safeHead() bool {
+	if eng.running.Len() == 0 {
+		return true
+	}
+	h, r := eng.ready[0], eng.running[0]
+	if h.clock != r.lb {
+		return h.clock < r.lb
+	}
+	return h.rank < r.rank
 }
 
 // resume transfers control to p until it yields again; it returns true
@@ -625,6 +807,38 @@ func (h *procHeap) Pop() interface{} {
 	n := len(old)
 	p := old[n-1]
 	p.heapIdx = -1
+	*h = old[:n-1]
+	return p
+}
+
+// runHeap orders concurrently executing procs by (lb, rank), where lb
+// is each body's running lower bound — its clock when it was resumed.
+// Its minimum bounds from below every request the running set can
+// still produce (clocks never decrease inside a body).
+type runHeap []*Proc
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	if h[i].lb != h[j].lb {
+		return h[i].lb < h[j].lb
+	}
+	return h[i].rank < h[j].rank
+}
+func (h runHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].runIdx = i
+	h[j].runIdx = j
+}
+func (h *runHeap) Push(x interface{}) {
+	p := x.(*Proc)
+	p.runIdx = len(*h)
+	*h = append(*h, p)
+}
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	p.runIdx = -1
 	*h = old[:n-1]
 	return p
 }
