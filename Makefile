@@ -1,6 +1,6 @@
 # Convenience targets; the repo needs only the Go toolchain.
 
-.PHONY: build test verify verify-parallel trace-demo bench benchdiff chaos chaos-race clean
+.PHONY: build test verify verify-parallel trace-demo telemetry-demo bench benchdiff chaos chaos-race clean
 
 build:
 	go build ./...
@@ -23,6 +23,7 @@ verify:
 	go run ./cmd/chaos -seeds 8
 	go run ./cmd/chaos -seeds 8 -parallel
 	go run -race ./cmd/chaos -seeds 8
+	$(MAKE) telemetry-demo
 
 # verify-parallel re-runs the tier-1 tests with NETSIM_PARALLEL=1, which
 # forces every netsim run in the tree onto the parallel engine — the
@@ -61,6 +62,24 @@ chaos-race:
 trace-demo:
 	go run ./cmd/fftbench -n 64 -sim 64 -gpus 24 -configs fp64-32,fp64-16 \
 		-iters 1 -trace trace-demo.json -metrics
+
+# telemetry-demo runs a short chaos soak with the full live-telemetry
+# stack on (-serve on a free port, JSONL event log, SLO objectives from
+# docs/slo.example.json, mid-sweep self-scrape of /metrics), then lints
+# the scraped OpenMetrics exposition and replays the event stream
+# offline — the replay re-derives the same SLO verdicts the live run
+# saw and exits nonzero if the stream carried no breaches. Part of
+# `make verify`.
+telemetry-demo:
+	$(eval TMP := $(shell mktemp -d))
+	go run ./cmd/chaos -seeds 6 -serve 127.0.0.1:0 \
+		-eventlog $(TMP)/events.jsonl -slo docs/slo.example.json \
+		-scrape $(TMP)/metrics.om
+	go run ./cmd/obswatch -lint $(TMP)/metrics.om
+	go run ./cmd/obswatch -replay $(TMP)/events.jsonl
+	! go run ./cmd/obswatch -replay $(TMP)/events.jsonl -slo docs/slo.example.json
+	rm -rf $(TMP)
+	@echo "telemetry-demo: scrape linted, stream replayed, breaches reproduced"
 
 # The committed bench baselines. Small deterministic configurations —
 # all times are virtual, so the artifacts are bit-identical across

@@ -28,6 +28,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 // recording carries the -trace/-metrics state: each ablation run may
@@ -40,13 +41,21 @@ type recording struct {
 
 var rec recording
 
+// tel is the live-telemetry session of the -serve/-eventlog/-slo flags
+// (nil-safe when they are all off).
+var tel *telemetry.Session
+
 func (r *recording) grab(cell string) *obs.Recorder {
-	if !r.on {
+	if !r.on && !tel.Enabled() {
 		return nil
 	}
-	r.lastRec = obs.New(obs.Options{Trace: true, Metrics: true})
-	r.lastCell = cell
-	return r.lastRec
+	c := obs.New(obs.Options{Trace: r.on, Metrics: true})
+	tel.StartRun(cell)
+	tel.Attach(c)
+	if r.on {
+		r.lastRec, r.lastCell = c, cell
+	}
+	return c
 }
 
 func main() {
@@ -55,7 +64,17 @@ func main() {
 	msg := flag.Int("msg", 80*1024, "message size per pair for exchange ablations")
 	traceFlag := flag.String("trace", "", "write a Chrome-trace JSON of the last measured run to this file")
 	metricsFlag := flag.Bool("metrics", false, "print the metrics report of the last measured run")
+	tf := telemetry.RegisterFlags(nil)
 	flag.Parse()
+
+	var err error
+	if tel, err = tf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "ablation:", err)
+		os.Exit(1)
+	}
+	if tel.Enabled() && tel.Addr() != "" {
+		fmt.Printf("# telemetry: serving http://%s\n", tel.Addr())
+	}
 	if *gpus%6 != 0 {
 		fmt.Fprintln(os.Stderr, "ablation: -gpus must be a multiple of 6")
 		os.Exit(1)
@@ -113,6 +132,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("# trace written: %s (%s)\n", *traceFlag, rec.lastCell)
+	}
+	if tel.Enabled() {
+		fmt.Println(tel.Summary())
+		if err := tel.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ablation: telemetry:", err)
+			os.Exit(1)
+		}
 	}
 }
 

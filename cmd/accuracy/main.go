@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 // recording carries the -trace/-metrics state: every measurement gets a
@@ -40,14 +41,23 @@ type recording struct {
 
 var rec recording
 
-// measure runs one cell with a recorder attached when recording is on.
+// tel is the live-telemetry session of the -serve/-eventlog/-slo flags
+// (nil-safe when they are all off).
+var tel *telemetry.Session
+
+// measure runs one cell with a recorder attached when recording or live
+// telemetry is on.
 func (r *recording) measure(cell string) *obs.Recorder {
-	if !r.on {
+	if !r.on && !tel.Enabled() {
 		return nil
 	}
-	r.lastRec = obs.New(obs.Options{Trace: true, Metrics: true})
-	r.lastCell = cell
-	return r.lastRec
+	c := obs.New(obs.Options{Trace: r.on, Metrics: true})
+	tel.StartRun(cell)
+	tel.Attach(c)
+	if r.on {
+		r.lastRec, r.lastCell = c, cell
+	}
+	return c
 }
 
 func main() {
@@ -58,7 +68,17 @@ func main() {
 	fig2GPUs := flag.Int("fig2gpus", 12, "GPU count for the -fig2 sweep")
 	traceFlag := flag.String("trace", "", "write a Chrome-trace JSON of the last measured cell to this file")
 	metricsFlag := flag.Bool("metrics", false, "print the metrics report of the last measured cell")
+	tf := telemetry.RegisterFlags(nil)
 	flag.Parse()
+
+	var err error
+	if tel, err = tf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "accuracy:", err)
+		os.Exit(1)
+	}
+	if tel.Enabled() && tel.Addr() != "" {
+		fmt.Printf("# telemetry: serving http://%s\n", tel.Addr())
+	}
 	if !*table2 && !*fig2 {
 		*table2, *fig2 = true, true
 	}
@@ -92,6 +112,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("# trace written: %s (%s)\n", *traceFlag, rec.lastCell)
+	}
+	if tel.Enabled() {
+		fmt.Println(tel.Summary())
+		if err := tel.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "accuracy: telemetry:", err)
+			os.Exit(1)
+		}
 	}
 }
 

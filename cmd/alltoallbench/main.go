@@ -25,6 +25,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/telemetry"
 	"repro/internal/plot"
 )
 
@@ -39,7 +40,17 @@ func main() {
 	jsonFlag := flag.String("json", "", "write the machine-readable bench artifact to this file")
 	faultsFlag := flag.Int64("faults", 0, "inject the seeded fault plan netsim.RandomPlan(seed); 0 disables (docs/ROBUSTNESS.md)")
 	parallelFlag := flag.Bool("parallel", false, "run the simulator's parallel engine (bit-identical results; docs/DETERMINISM.md)")
+	tf := telemetry.RegisterFlags(nil)
 	flag.Parse()
+
+	tel, err := tf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alltoallbench:", err)
+		os.Exit(1)
+	}
+	if tel.Enabled() && tel.Addr() != "" {
+		fmt.Printf("# telemetry: serving http://%s\n", tel.Addr())
+	}
 
 	gpus, err := parseInts(*gpusFlag)
 	if err != nil {
@@ -85,6 +96,8 @@ func main() {
 		labels = append(labels, fmt.Sprint(g))
 		for i, a := range algos {
 			rec := obs.New(obs.Options{Trace: recording, Metrics: true})
+			tel.StartRun(fmt.Sprintf("%s/%dgpus", a, g))
+			tel.Attach(rec)
 			machine := netsim.Summit(g / 6)
 			machine.Parallel = *parallelFlag
 			if *faultsFlag != 0 {
@@ -153,6 +166,13 @@ func main() {
 	if *doPlot {
 		fmt.Println()
 		fmt.Print(plot.Chart("node bandwidth (GB/s) vs GPUs", labels, series, 60, 14, false))
+	}
+	if tel.Enabled() {
+		fmt.Println(tel.Summary())
+		if err := tel.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "alltoallbench: telemetry:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -33,6 +33,8 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 // msgBytes / msgVals size one pair's payload. Large enough to cross the
@@ -132,37 +134,64 @@ func sendVals(me, p int) [][]float64 {
 	return out
 }
 
+// emitExchange stamps one completed exchange on the live event stream —
+// the latency observations the SLO engine's "latency" objectives
+// consume. A no-op (one pointer test) when telemetry is off.
+func emitExchange(c *mpi.Comm, label string, t0 float64) {
+	c.Obs().Emit(obs.Event{
+		T: c.Now(), Kind: obs.EventExchange, Label: label, Peer: -1,
+		Value: c.Now() - t0,
+	})
+}
+
 // workloads maps a name to a body exercising one exchange algorithm
 // (two iterations, so window reuse and fallback escalation both run).
 var workloads = map[string]func(c *mpi.Comm, rep *report){
 	"linear": func(c *mpi.Comm, rep *report) {
 		for it := 0; it < 2; it++ {
-			checkBytes(rep, c.Rank(), exchange.LinearAlltoallv(c, sendBytes(c.Rank(), c.Size())))
+			t0 := c.Now()
+			got := exchange.LinearAlltoallv(c, sendBytes(c.Rank(), c.Size()))
+			emitExchange(c, "linear", t0)
+			checkBytes(rep, c.Rank(), got)
 		}
 	},
 	"pairwise": func(c *mpi.Comm, rep *report) {
 		for it := 0; it < 2; it++ {
-			checkBytes(rep, c.Rank(), exchange.PairwiseAlltoallv(c, sendBytes(c.Rank(), c.Size())))
+			t0 := c.Now()
+			got := exchange.PairwiseAlltoallv(c, sendBytes(c.Rank(), c.Size()))
+			emitExchange(c, "pairwise", t0)
+			checkBytes(rep, c.Rank(), got)
 		}
 	},
 	"osc": func(c *mpi.Comm, rep *report) {
 		o := exchange.NewOSC(c, exchange.Uniform(msgBytes), true)
 		for it := 0; it < 2; it++ {
-			checkBytes(rep, c.Rank(), o.Exchange(sendBytes(c.Rank(), c.Size())))
+			t0 := c.Now()
+			got := o.Exchange(sendBytes(c.Rank(), c.Size()))
+			emitExchange(c, "osc", t0)
+			checkBytes(rep, c.Rank(), got)
 		}
 		rep.degraded(o.Health())
 	},
 	"osc-comp": func(c *mpi.Comm, rep *report) {
 		x := exchange.NewCompressedOSC(c, compress.Lossless{}, gpu.NewStream(gpu.V100(), c), 3, exchange.UniformCount(msgVals))
+		x.SetLabel("osc-comp")
 		for it := 0; it < 2; it++ {
-			checkVals(rep, c.Rank(), x.Exchange(sendVals(c.Rank(), c.Size())))
+			t0 := c.Now()
+			got := x.Exchange(sendVals(c.Rank(), c.Size()))
+			emitExchange(c, "osc-comp", t0)
+			checkVals(rep, c.Rank(), got)
 		}
 		rep.degraded(x.Health())
 	},
 	"osc-comp16": func(c *mpi.Comm, rep *report) {
 		x := exchange.NewCompressedOSC(c, compress.Cast16{}, gpu.NewStream(gpu.V100(), c), 3, exchange.UniformCount(msgVals))
+		x.SetLabel("osc-comp16")
 		for it := 0; it < 2; it++ {
-			checkVals(rep, c.Rank(), x.Exchange(sendVals(c.Rank(), c.Size())))
+			t0 := c.Now()
+			got := x.Exchange(sendVals(c.Rank(), c.Size()))
+			emitExchange(c, "osc-comp16", t0)
+			checkVals(rep, c.Rank(), got)
 		}
 		rep.degraded(x.Health())
 	},
@@ -189,7 +218,7 @@ func explicit(err error) bool {
 
 // runOne executes one (seed, workload) cell under a wall-clock hang
 // guard and classifies the outcome.
-func runOne(seed int64, name string, body func(*mpi.Comm, *report), timeout time.Duration, verbose, parallel bool) (outcome, string) {
+func runOne(seed int64, name string, body func(*mpi.Comm, *report), timeout time.Duration, verbose, parallel bool, rec *obs.Recorder) (outcome, string) {
 	cfg := netsim.Summit(1)
 	cfg.Parallel = parallel
 	cfg.Faults = netsim.RandomPlan(seed)
@@ -208,7 +237,7 @@ func runOne(seed int64, name string, body func(*mpi.Comm, *report), timeout time
 				ch <- res{fmt.Errorf("harness panic: %v", r)}
 			}
 		}()
-		_, err := mpi.RunChecked(cfg, func(c *mpi.Comm) { body(c, rep) })
+		_, err := mpi.RunWithChecked(cfg, rec, func(c *mpi.Comm) { body(c, rep) })
 		ch <- res{err}
 	}()
 	var err error
@@ -249,7 +278,25 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "wall-clock hang guard per run")
 	verbose := flag.Bool("v", false, "print every cell, not just summaries and violations")
 	parallel := flag.Bool("parallel", false, "run the simulator's parallel engine (verdicts are bit-identical; docs/DETERMINISM.md)")
+	scrape := flag.String("scrape", "", "with -serve: self-scrape /metrics mid-sweep into this file")
+	tf := telemetry.RegisterFlags(nil)
 	flag.Parse()
+
+	tel, err := tf.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		os.Exit(2)
+	}
+	if tel.Enabled() && tel.Addr() != "" {
+		fmt.Printf("# telemetry: serving http://%s (/metrics /healthz /slo /events /debug/pprof)\n", tel.Addr())
+	}
+	var rec *obs.Recorder
+	if tel.Enabled() {
+		// One recorder for the whole soak: counters accumulate across
+		// cells, and every cell's events land in the same stream.
+		rec = obs.New(obs.Options{Metrics: true})
+		tel.Attach(rec)
+	}
 
 	var names []string
 	for _, n := range strings.Split(*workloadsFlag, ",") {
@@ -269,7 +316,8 @@ func main() {
 		scenario := netsim.RandomPlan(seed).Scenario()
 		scenarios[scenario]++
 		for _, name := range names {
-			out, detail := runOne(seed, name, workloads[name], *timeout, *verbose, *parallel)
+			tel.StartRun(fmt.Sprintf("seed%d/%s", seed, name))
+			out, detail := runOne(seed, name, workloads[name], *timeout, *verbose, *parallel, rec)
 			if counts[name] == nil {
 				counts[name] = map[outcome]int{}
 			}
@@ -279,6 +327,14 @@ func main() {
 				fmt.Printf("BAD  seed=%-4d %-10s %-12s %s\n", seed, name, scenario, detail)
 			} else if *verbose {
 				fmt.Printf("%-4s seed=%-4d %-10s %-12s %s\n", out, seed, name, scenario, detail)
+			}
+		}
+		if *scrape != "" && s == int64(*seeds/2) {
+			// A mid-soak self-scrape: the exposition the acceptance check
+			// and `make telemetry-demo` lint.
+			if err := tel.ScrapeTo(*scrape); err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: scrape: %v\n", err)
+				os.Exit(2)
 			}
 		}
 	}
@@ -299,6 +355,13 @@ func main() {
 	for _, name := range names {
 		c := counts[name]
 		fmt.Printf("%-12s %8d %10d %8d %6d\n", name, c[outClean], c[outDegraded], c[outError], c[outBad])
+	}
+	if tel.Enabled() {
+		fmt.Println(tel.Summary())
+		if err := tel.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: telemetry: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if bad > 0 {
 		fmt.Printf("chaos: %d contract violations\n", bad)

@@ -36,6 +36,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/telemetry"
 	"repro/internal/plot"
 )
 
@@ -119,7 +120,17 @@ func main() {
 	jsonFlag := flag.String("json", "", "write the machine-readable bench artifact to this file")
 	faultsFlag := flag.Int64("faults", 0, "inject the seeded fault plan netsim.RandomPlan(seed); 0 disables (docs/ROBUSTNESS.md)")
 	parallelFlag := flag.Bool("parallel", false, "run the simulator's parallel engine (bit-identical results; docs/DETERMINISM.md)")
+	tf := telemetry.RegisterFlags(nil)
 	flag.Parse()
+
+	tel, err := tf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftbench:", err)
+		os.Exit(1)
+	}
+	if tel.Enabled() && tel.Addr() != "" {
+		fmt.Printf("# telemetry: serving http://%s\n", tel.Addr())
+	}
 
 	n := [3]int{*nFlag, *nFlag, *nFlag}
 	if *simFlag%*nFlag != 0 {
@@ -183,6 +194,8 @@ func main() {
 		gflops := make([]float64, len(configs))
 		for i, c := range configs {
 			rec := obs.New(obs.Options{Trace: recording, Metrics: true})
+			tel.StartRun(fmt.Sprintf("%s/%dgpus", c.name, g))
+			tel.Attach(rec)
 			res := c.run(rec, machine, n, *iters, simScale)
 			gflops[i] = res.Gflops
 			recorders[i] = rec
@@ -259,5 +272,12 @@ func main() {
 	if *doPlot {
 		fmt.Println()
 		fmt.Print(plot.Chart("Gflop/s vs GPUs (log scale)", labels, series, 60, 14, true))
+	}
+	if tel.Enabled() {
+		fmt.Println(tel.Summary())
+		if err := tel.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fftbench: telemetry:", err)
+			os.Exit(1)
+		}
 	}
 }

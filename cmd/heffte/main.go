@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 func parseMethod(s string) (compress.Method, error) {
@@ -65,7 +66,17 @@ func main() {
 	traceFlag := flag.String("trace", "", "write a Chrome-trace JSON of the run to this file")
 	metricsFlag := flag.Bool("metrics", false, "print the phase-breakdown/metrics report")
 	parallelFlag := flag.Bool("parallel", false, "run the simulator's parallel engine (bit-identical results; docs/DETERMINISM.md)")
+	tf := telemetry.RegisterFlags(nil)
 	flag.Parse()
+
+	tel, err := tf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heffte:", err)
+		os.Exit(1)
+	}
+	if tel.Enabled() && tel.Addr() != "" {
+		fmt.Printf("telemetry      : serving http://%s\n", tel.Addr())
+	}
 
 	if *gpus%6 != 0 {
 		fmt.Fprintln(os.Stderr, "heffte: -gpus must be a multiple of 6")
@@ -107,6 +118,8 @@ func main() {
 	cfg := netsim.Summit(*gpus / 6)
 	cfg.Parallel = *parallelFlag
 	rec := obs.New(obs.Options{Trace: *traceFlag != "", Metrics: true})
+	tel.StartRun(fmt.Sprintf("%s/%dgpus", *backend, *gpus))
+	tel.Attach(rec)
 	var r core.Result
 	if *fp32 {
 		if opts.Backend == core.BackendCompressed {
@@ -180,5 +193,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("trace written  : %s (chrome://tracing / ui.perfetto.dev)\n", *traceFlag)
+	}
+	if tel.Enabled() {
+		fmt.Println(tel.Summary())
+		if err := tel.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "heffte: telemetry:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -311,8 +311,10 @@ type reshape[C fft.Complex] struct {
 	logicalTotal int64
 	// metricTime is the precomputed histogram name for this reshape's
 	// measured exchange time ("exchange/<label>/time_s"), which the bench
-	// artifacts compare against the cost model's prediction.
+	// artifacts compare against the cost model's prediction. label is the
+	// reshape's name (fwd0..3 / bwd0..3), stamped on telemetry events.
 	metricTime string
+	label      string
 
 	// Byte backends.
 	sendBytes   [][]byte
@@ -340,6 +342,7 @@ func newReshape[C fft.Complex](pl *Plan[C], fromStage, toStage int, label string
 		toBox:      to[me],
 		toOrder:    toOrder,
 		metricTime: "exchange/" + label + "/time_s",
+		label:      label,
 	}
 	p := pl.c.Size()
 	elem := pl.elemSize()
@@ -488,6 +491,10 @@ func (r *reshape[C]) execute(local []C) []C {
 	pl.profile.Exchange += tUnpack - tExchange
 	rk.End(tUnpack, r.logicalTotal)
 	rk.Observe(r.metricTime, tUnpack-tExchange)
+	rk.Emit(obs.Event{
+		T: tUnpack, Kind: obs.EventExchange, Label: r.label, Peer: -1,
+		Value: tUnpack - tExchange,
+	})
 	rk.Begin(obs.TrackHost, obs.PhaseUnpack, tUnpack)
 
 	// Unpack into the target layout.

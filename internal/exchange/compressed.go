@@ -48,7 +48,11 @@ type CompressedOSC struct {
 	SimCounts CountFn
 
 	// Precomputed metric names of this exchange's label (SetLabel).
-	metricRaw, metricWire, metricErr, metricOverlap string
+	metricRaw, metricWire, metricErr, metricOverlap, metricAchieved string
+	label                                                           string
+	// errScratch holds decompressed values while measuring the achieved
+	// error; allocated lazily and only when an event log is attached.
+	errScratch []float64
 
 	recvCounts []int
 	slotOff    []int // window offset of each source's slot
@@ -138,8 +142,10 @@ func NewCompressedOSC(c *mpi.Comm, method compress.Method, stream *gpu.Stream, c
 // compression is reported as compress/<label>/{raw,wire}_bytes plus the
 // error-bound gauge. The FFT plan labels its reshapes fwd0..3 / bwd0..3.
 func (x *CompressedOSC) SetLabel(label string) {
+	x.label = label
 	x.metricRaw, x.metricWire, x.metricErr = obs.CompressMetricNames(label)
 	x.metricOverlap = "exchange/" + label + "/overlap_efficiency"
+	x.metricAchieved = "compress/" + label + "/achieved_error"
 }
 
 // recvSizesBytes maps value counts to window slot sizes.
@@ -237,6 +243,12 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 	// than overlapping them with puts) is the pipeline's stall.
 	var rawBytes, wireBytes int64
 	stall := 0.0
+	// With an event log attached, measure the error this epoch actually
+	// achieved by round-tripping each compressed slot on the host. Pure
+	// wall-clock work outside the virtual timeline; off (and free) when
+	// telemetry is off.
+	measure := rk.EventsOn()
+	worstErr, measured := 0.0, false
 	if !x.Pipelined {
 		if st := x.stream.ReadyAt() - x.c.Now(); st > 0 {
 			rk.Span(obs.TrackHost, obs.PhaseCompressWait, x.c.Now(), x.c.Now()+st, 0)
@@ -266,6 +278,14 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 			}
 			rawBytes += 8 * int64(simCounts(dst, me))
 			wireBytes += int64(logical)
+			if measure {
+				if e, ok := x.slotError(slot[:4+clen], send[dst]); ok {
+					measured = true
+					if e > worstErr {
+						worstErr = e
+					}
+				}
+			}
 			x.win.PutLogical(dst, x.sendOff[dst], slot[:4+clen], logical)
 		}
 	}
@@ -279,6 +299,13 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 			eff = 0
 		}
 		rk.Set(x.metricOverlap, eff)
+	}
+	if measured {
+		rk.Observe(x.metricAchieved, worstErr)
+		rk.Emit(obs.Event{
+			T: x.c.Now(), Kind: obs.EventError, Label: x.label, Peer: -1,
+			Value: worstErr, Bound: x.method.ErrorBound(),
+		})
 	}
 
 	// Phase 3: close the epoch. In reliable mode the fence reports (per
@@ -332,6 +359,41 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 		x.healEpoch(send, damaged)
 	}
 	return x.out
+}
+
+// slotError round-trips one locally compressed slot and returns the
+// worst relative error against the original values (absolute where the
+// original is zero) — the per-epoch achieved error the telemetry layer
+// compares with the method's configured bound.
+func (x *CompressedOSC) slotError(slot []byte, vals []float64) (float64, bool) {
+	if len(vals) == 0 {
+		return 0, false
+	}
+	if cap(x.errScratch) < len(vals) {
+		x.errScratch = make([]float64, len(vals))
+	}
+	dst := x.errScratch[:len(vals)]
+	if err := decodeSlot(x.method, dst, slot); err != nil {
+		return 0, false // unreachable for a slot we just produced
+	}
+	worst := 0.0
+	for i, v := range vals {
+		d := dst[i] - v
+		if d < 0 {
+			d = -d
+		}
+		if v != 0 {
+			av := v
+			if av < 0 {
+				av = -av
+			}
+			d /= av
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, true
 }
 
 // decodeSlot validates and decodes one window slot (4-byte compressed

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // Self-healing protocol tags (user tag space, alongside the exchange
@@ -142,6 +143,7 @@ func (h *healer) round(damaged, putSrc, putDst []bool, resend func(int) []byte, 
 		if h.failTo[d]++; h.failTo[d] >= h.threshold && !h.fellTo[d] {
 			h.fellTo[d] = true
 			rk.Add(metricFallbackPeers, 1)
+			rk.Emit(obs.Event{T: h.c.Now(), Kind: obs.EventFallback, Label: "to", Peer: d, Value: float64(h.failTo[d])})
 		}
 	}
 	// Step 3: resend damaged slots over the two-sided path (checksummed
@@ -158,9 +160,11 @@ func (h *healer) round(damaged, putSrc, putDst []bool, resend func(int) []byte, 
 		accept(s, h.c.Recv(s, tagRepair))
 		h.repairs++
 		rk.Add(metricRepairs, 1)
+		rk.Emit(obs.Event{T: h.c.Now(), Kind: obs.EventRepair, Peer: s, Value: 1})
 		if h.failFrom[s]++; h.failFrom[s] >= h.threshold && !h.fellFrom[s] {
 			h.fellFrom[s] = true
 			rk.Add(metricFallbackPeers, 1)
+			rk.Emit(obs.Event{T: h.c.Now(), Kind: obs.EventFallback, Label: "from", Peer: s, Value: float64(h.failFrom[s])})
 		}
 	}
 }

@@ -185,10 +185,10 @@ func TestParallelEquivalenceCleanWorkloads(t *testing.T) {
 // acceptance bar asks for).
 func TestParallelEquivalenceFaultedWorkloads(t *testing.T) {
 	seeds := map[string][]int64{
-		"linear":   {4, 12}, // degraded NICs + stalls, crash rank 2
-		"pairwise": {7, 10}, // drop storm, duplicates + spikes
-		"bruck":    {8, 14}, // CRC corruption, mixed gentle storm
-		"osc":      {9, 5},  // silent put corruption, crash rank 0
+		"linear":   {4, 12},  // degraded NICs + stalls, crash rank 2
+		"pairwise": {7, 10},  // drop storm, duplicates + spikes
+		"bruck":    {8, 14},  // CRC corruption, mixed gentle storm
+		"osc":      {9, 5},   // silent put corruption, crash rank 0
 		"osc-comp": {16, 11}, // silent put corruption, degraded + stalls
 	}
 	for _, kind := range parKinds {

@@ -101,6 +101,22 @@ func runWith(cfg netsim.Config, rec *obs.Recorder, body func(*Comm), check bool)
 			})
 		}
 	}
+	if log := rec.EventLog(); log != nil {
+		// Mirror injected faults into the live event stream. Like the
+		// Tracer, the observer runs on the scheduler goroutine, so event
+		// order is deterministic under both engines and emission never
+		// touches virtual time.
+		prev := cfg.FaultObserver
+		cfg.FaultObserver = func(fe netsim.FaultEvent) {
+			if prev != nil {
+				prev(fe)
+			}
+			log.Emit(obs.Event{
+				T: fe.T, Rank: fe.Src, Kind: obs.EventFault,
+				Label: fe.Kind, Peer: fe.Dst, Value: fe.Delay,
+			})
+		}
+	}
 	mk := func(p *netsim.Proc) *Comm {
 		c := &Comm{
 			p:              p,
@@ -273,7 +289,7 @@ func (c *Comm) recvInternal(src, tag int) netsim.Packet {
 	if c.reliable {
 		pkt, ok := c.p.RecvDeadline(src, tag, c.deadline())
 		if !ok {
-			panic(&FaultError{Rank: c.Rank(), Src: src, Tag: tag, Kind: "timeout", Op: "collective", When: c.p.Now()})
+			panic(c.noteFault(&FaultError{Rank: c.Rank(), Src: src, Tag: tag, Kind: "timeout", Op: "collective", When: c.p.Now()}))
 		}
 		return pkt
 	}

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Reliable mode activates automatically when the machine config carries
@@ -53,6 +54,19 @@ type FaultError struct {
 func (e *FaultError) Error() string {
 	return fmt.Sprintf("mpi: rank %d %s %s from rank %d (tag %d) at t=%.3gs",
 		e.Rank, e.Op, e.Kind, e.Src, e.Tag, e.When)
+}
+
+// noteFault emits the detection of a fault that survived transport
+// recovery into the live event stream (when one is attached) and
+// returns the error for the caller to panic with. Label is the fault
+// kind prefixed with "detected_" to keep it distinct from the
+// injection-side events the engine's FaultObserver emits.
+func (c *Comm) noteFault(e *FaultError) *FaultError {
+	c.obs.Emit(obs.Event{
+		T: e.When, Kind: obs.EventFault, Label: "detected_" + e.Kind,
+		Peer: e.Src, Msg: e.Op,
+	})
+	return e
 }
 
 // frame wraps data in the two-sided reliable header. The checksum
@@ -157,17 +171,17 @@ func (c *Comm) recvReliable(src, tag int) netsim.Packet {
 	for {
 		pkt, ok := c.p.RecvDeadline(src, tag, deadline)
 		if !ok {
-			panic(&FaultError{Rank: c.Rank(), Src: src, Tag: tag, Kind: "timeout", Op: "recv", When: c.p.Now()})
+			panic(c.noteFault(&FaultError{Rank: c.Rank(), Src: src, Tag: tag, Kind: "timeout", Op: "recv", When: c.p.Now()}))
 		}
 		seq, data, ok := deframe(pkt.Payload)
 		if !ok {
-			panic(&FaultError{Rank: c.Rank(), Src: src, Tag: tag, Kind: "corrupt", Op: "recv", When: c.p.Now()})
+			panic(c.noteFault(&FaultError{Rank: c.Rank(), Src: src, Tag: tag, Kind: "corrupt", Op: "recv", When: c.p.Now()}))
 		}
 		if seq < want {
 			continue // duplicate delivery of an already-consumed message
 		}
 		if seq > want {
-			panic(&FaultError{Rank: c.Rank(), Src: src, Tag: tag, Kind: "lost", Op: "recv", When: c.p.Now()})
+			panic(c.noteFault(&FaultError{Rank: c.Rank(), Src: src, Tag: tag, Kind: "lost", Op: "recv", When: c.p.Now()}))
 		}
 		c.recvSeq[k] = want + 1
 		pkt.Payload = data

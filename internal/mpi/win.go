@@ -120,7 +120,7 @@ func (w *Win) Fence(expected []int) {
 			src = rep.Missing[0]
 			kind = "lost"
 		}
-		panic(&FaultError{Rank: w.c.Rank(), Src: src, Tag: w.tag, Kind: kind, Op: "fence", When: w.c.Now()})
+		panic(w.c.noteFault(&FaultError{Rank: w.c.Rank(), Src: src, Tag: w.tag, Kind: kind, Op: "fence", When: w.c.Now()}))
 	}
 }
 

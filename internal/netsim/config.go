@@ -65,6 +65,13 @@ type Config struct {
 	// without the fault layer.
 	Faults *FaultPlan `json:"-"`
 
+	// FaultObserver, when non-nil, receives one FaultEvent per injected
+	// fault as the engine decides it. Like Tracer it is called only from
+	// the scheduler goroutine — in parallel mode too — so observation
+	// order is deterministic and observing never perturbs virtual time.
+	// It must not call back into the engine.
+	FaultObserver func(FaultEvent) `json:"-"`
+
 	// MatchCost is the receiver-side cost of scanning one entry of the
 	// unexpected-message queue when matching a two-sided receive, and
 	// MatchQueueCap bounds the queue length the flow control lets build

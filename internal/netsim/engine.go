@@ -509,6 +509,9 @@ func (eng *Engine) discardCrashed(p *Proc) bool {
 	if eng.inj != nil && !p.crashed && eng.inj.crashed(p.rank, p.clock) {
 		p.crashed = true
 		eng.stats.Faults.Crashes++
+		if eng.cfg.FaultObserver != nil {
+			eng.cfg.FaultObserver(FaultEvent{T: p.clock, Kind: "crash", Src: p.rank, Dst: -1, Tag: -1})
+		}
 		return true
 	}
 	return false
@@ -646,6 +649,9 @@ func (eng *Engine) deliver(p *Proc) {
 	if inj != nil {
 		if st := inj.stall(); st > 0 {
 			p.clock += st
+			if cfg.FaultObserver != nil {
+				cfg.FaultObserver(FaultEvent{T: p.clock, Kind: "stall", Src: p.rank, Dst: req.dst, Tag: req.tag, Delay: st})
+			}
 		}
 	}
 	injected := p.clock + cfg.SendOverhead
@@ -691,15 +697,31 @@ func (eng *Engine) deliver(p *Proc) {
 	lost := false
 	duplicated := false
 	if inj != nil && req.dst != p.rank {
-		extra += inj.spike()
+		fault := func(kind string, delay float64) {
+			if cfg.FaultObserver != nil {
+				cfg.FaultObserver(FaultEvent{T: injected, Kind: kind, Src: p.rank, Dst: req.dst, Tag: req.tag, Delay: delay})
+			}
+		}
+		if sp := inj.spike(); sp > 0 {
+			extra += sp
+			fault("spike", sp)
+		}
 		delay, l := inj.transfer()
 		extra += delay
 		lost = l
-		if !lost {
+		if delay > 0 {
+			fault("retry", delay)
+		}
+		if lost {
+			fault("lost", 0)
+		} else {
 			if bad := inj.corrupt(payload, req.unmatched); bad != nil {
 				payload = bad
+				fault("silent_corrupt", 0)
 			}
-			duplicated = inj.duplicate()
+			if duplicated = inj.duplicate(); duplicated {
+				fault("duplicate", 0)
+			}
 		}
 	}
 	if cfg.Tracer != nil {

@@ -139,6 +139,20 @@ type FaultStats struct {
 	Crashes         int     // ranks parked by a crash
 }
 
+// FaultEvent describes one injected fault, delivered to
+// Config.FaultObserver on the scheduler goroutine as the engine decides
+// it. Kind is one of "stall", "spike", "retry", "lost",
+// "silent_corrupt", "duplicate", or "crash"; Delay carries the virtual
+// seconds a stall/spike/retry added (0 otherwise). Dst is -1 for
+// crashes, which have no message in flight.
+type FaultEvent struct {
+	T        float64 // virtual time at the deciding proc
+	Kind     string
+	Src, Dst int
+	Tag      int
+	Delay    float64
+}
+
 // injector applies a FaultPlan deterministically. It is consulted only
 // from the engine's deliver path, whose order the scheduler makes
 // deterministic, so one seed always produces one fault sequence.

@@ -117,7 +117,7 @@ func oscBody(p *Proc, sink [][]byte) {
 func deadlineBody(p *Proc, sink [][]byte) {
 	n := p.Size()
 	peer := (p.Rank() + 1) % n
-	p.Send(peer, 7, []byte{byte(p.Rank())}, 1 << 14)
+	p.Send(peer, 7, []byte{byte(p.Rank())}, 1<<14)
 	if pkt, ok := p.RecvDeadline((p.Rank()-1+n)%n, 7, 1.0); ok {
 		sink[p.Rank()] = append(sink[p.Rank()], pkt.Payload...)
 	}

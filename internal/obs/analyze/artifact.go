@@ -74,18 +74,21 @@ func (f *FaultRow) Degraded() bool {
 }
 
 // FaultRowFrom extracts the fault counters of a run's metric registry;
-// nil when the run saw no faults at all.
+// nil when the run saw no faults at all. The counters come from one
+// consistent Snapshot, so related values (e.g. retries vs. lost) cannot
+// tear against a concurrently mutating run.
 func FaultRowFrom(m *obs.Metrics) *FaultRow {
+	s := m.Snapshot()
 	f := FaultRow{
-		Drops:           m.Counter("fault/drops"),
-		DetectedCorrupt: m.Counter("fault/detected_corrupt"),
-		SilentCorrupt:   m.Counter("fault/silent_corrupt"),
-		Duplicates:      m.Counter("fault/duplicates"),
-		Retries:         m.Counter("fault/retries"),
-		Lost:            m.Counter("fault/lost"),
-		Crashes:         m.Counter("fault/crashes"),
-		Repairs:         m.Counter("exchange/repairs"),
-		FallbackPeers:   m.Counter("exchange/fallback_peers"),
+		Drops:           s.Counters["fault/drops"],
+		DetectedCorrupt: s.Counters["fault/detected_corrupt"],
+		SilentCorrupt:   s.Counters["fault/silent_corrupt"],
+		Duplicates:      s.Counters["fault/duplicates"],
+		Retries:         s.Counters["fault/retries"],
+		Lost:            s.Counters["fault/lost"],
+		Crashes:         s.Counters["fault/crashes"],
+		Repairs:         s.Counters["exchange/repairs"],
+		FallbackPeers:   s.Counters["exchange/fallback_peers"],
 	}
 	if f == (FaultRow{}) {
 		return nil

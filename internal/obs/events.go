@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event kinds emitted into the streaming event log. The set is small and
+// closed on purpose: consumers (the SLO engine, obswatch, log replays)
+// switch on Kind and must be able to enumerate what can appear.
+const (
+	EventPhase    = "phase"      // a pipeline phase completed on a rank
+	EventExchange = "exchange"   // one labelled exchange completed
+	EventError    = "error"      // achieved compression error observed
+	EventFault    = "fault"      // an injected or detected transport fault
+	EventRepair   = "repair"     // the healer repaired a damaged peer slot
+	EventFallback = "fallback"   // a peer escalated to lossless fallback
+	EventBreach   = "slo_breach" // an SLO objective left its budget
+	EventRun      = "run"        // a new run/cell started (virtual time resets)
+)
+
+// Event is one line of the streaming JSONL event log: something that
+// happened at virtual time T on a rank. Optional fields stay at their
+// zero value; Peer uses -1 for "no peer" because rank 0 is a valid peer.
+type Event struct {
+	T     float64 `json:"t"`               // virtual seconds since run start
+	Run   int64   `json:"run"`             // run sequence number (see EventRun)
+	Rank  int     `json:"rank"`            // reporting rank; -1 = engine/driver
+	Kind  string  `json:"kind"`            // one of the Event* constants
+	Label string  `json:"label,omitempty"` // phase name, reshape label, fault kind, objective name
+	Peer  int     `json:"peer"`            // the other rank involved; -1 = none
+	Value float64 `json:"value"`           // duration, error, burn rate, delay — kind-specific
+	Bound float64 `json:"bound,omitempty"` // error events: the configured bound
+	Msg   string  `json:"msg,omitempty"`   // free-form detail
+}
+
+// EventLog is a bounded, drop-counting stream of Events — the live
+// counterpart of TraceBuffer. It keeps the newest EventCap events in a
+// ring for attachment-time catch-up (/events, obswatch), optionally
+// writes every event through to a JSONL sink as it happens, and fans
+// events out to registered observers (the SLO engine). A nil *EventLog
+// is valid and drops everything at the cost of one pointer test.
+type EventLog struct {
+	mu        sync.Mutex
+	cap       int
+	ring      []Event
+	next      int
+	wrapped   bool
+	total     int64
+	counts    map[string]int64
+	run       int64
+	sink      io.Writer
+	sinkErr   error
+	observers []func(Event)
+}
+
+// DefaultEventCap bounds the in-memory event ring.
+const DefaultEventCap = 1 << 16
+
+// NewEventLog creates an event log retaining the newest capacity events
+// (0 selects DefaultEventCap).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	return &EventLog{cap: capacity, counts: make(map[string]int64)}
+}
+
+// SetSink attaches a write-through JSONL sink; every subsequent event is
+// appended to it as one JSON object per line. The caller owns buffering
+// and closing. The first write error is remembered (SinkErr) and stops
+// further writes.
+func (l *EventLog) SetSink(w io.Writer) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = w
+	l.sinkErr = nil
+	l.mu.Unlock()
+}
+
+// SinkErr returns the first error the JSONL sink reported, if any.
+func (l *EventLog) SinkErr() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinkErr
+}
+
+// Observe registers fn to be called for every subsequent event, outside
+// the log's lock but serialized with other observer calls. Register all
+// observers before the run starts; registration is not synchronized
+// against concurrent Emit.
+func (l *EventLog) Observe(fn func(Event)) {
+	if l == nil || fn == nil {
+		return
+	}
+	l.observers = append(l.observers, fn)
+}
+
+// StartRun advances the run sequence number and emits an EventRun
+// marker. Drivers call it once per cell/seed so consumers know virtual
+// time restarted at zero (sliding SLO windows reset; cumulative breach
+// counts persist).
+func (l *EventLog) StartRun(label string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.run++
+	l.mu.Unlock()
+	l.Emit(Event{Kind: EventRun, Label: label, Rank: -1, Peer: -1})
+}
+
+// Emit appends one event: into the ring (overwriting the oldest when
+// full), through the sink, and out to the observers. Safe for concurrent
+// use; observers run outside the lock so they may themselves Emit.
+func (l *EventLog) Emit(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	ev.Run = l.run
+	l.total++
+	l.counts[ev.Kind]++
+	if len(l.ring) < l.cap {
+		l.ring = append(l.ring, ev)
+	} else {
+		l.ring[l.next] = ev
+		l.wrapped = true
+	}
+	l.next = (l.next + 1) % l.cap
+	if l.sink != nil && l.sinkErr == nil {
+		line, err := json.Marshal(ev)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = l.sink.Write(line)
+		}
+		if err != nil {
+			l.sinkErr = err
+		}
+	}
+	obs := l.observers
+	l.mu.Unlock()
+	for _, fn := range obs {
+		fn(ev)
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.wrapped {
+		return append([]Event(nil), l.ring[:l.next]...)
+	}
+	out := make([]Event, 0, l.cap)
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// Total returns the number of events ever emitted.
+func (l *EventLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Dropped returns how many events fell out of the ring (they were still
+// written to the sink and seen by observers).
+func (l *EventLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.wrapped {
+		return 0
+	}
+	return l.total - int64(l.cap)
+}
+
+// Counts returns a copy of the per-kind event counts.
+func (l *EventLog) Counts() map[string]int64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64, len(l.counts))
+	for k, v := range l.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEventLogRingAndDrops(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 7; i++ {
+		l.Emit(Event{T: float64(i), Kind: EventFault, Peer: -1})
+	}
+	if got := l.Total(); got != 7 {
+		t.Fatalf("Total = %d, want 7", got)
+	}
+	if got := l.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest first: the survivors are T=3..6.
+	for i, ev := range evs {
+		if ev.T != float64(3+i) {
+			t.Fatalf("event %d has T=%g, want %g", i, ev.T, float64(3+i))
+		}
+	}
+	if got := l.Counts()[EventFault]; got != 7 {
+		t.Fatalf("Counts[fault] = %d, want 7 (drops must still count)", got)
+	}
+}
+
+func TestEventLogRunMarkers(t *testing.T) {
+	l := NewEventLog(16)
+	l.StartRun("cell-a")
+	l.Emit(Event{Kind: EventRepair, Peer: 2})
+	l.StartRun("cell-b")
+	l.Emit(Event{Kind: EventRepair, Peer: 3})
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	if evs[0].Kind != EventRun || evs[0].Label != "cell-a" || evs[0].Run != 1 {
+		t.Fatalf("first marker wrong: %+v", evs[0])
+	}
+	if evs[1].Run != 1 {
+		t.Fatalf("cell-a event has run %d, want 1", evs[1].Run)
+	}
+	if evs[2].Kind != EventRun || evs[2].Run != 2 || evs[3].Run != 2 {
+		t.Fatalf("cell-b run stamping wrong: %+v %+v", evs[2], evs[3])
+	}
+}
+
+func TestEventLogSinkJSONL(t *testing.T) {
+	l := NewEventLog(8)
+	var buf strings.Builder
+	l.SetSink(&buf)
+	l.Emit(Event{T: 1.5, Rank: 2, Kind: EventError, Label: "fwd0", Peer: -1, Value: 1e-8, Bound: 1e-7})
+	l.Emit(Event{T: 2.0, Rank: 0, Kind: EventFault, Label: "stall", Peer: 3, Value: 1e-6})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sink got %d lines, want 2", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev.Kind != EventError || ev.Label != "fwd0" || ev.Bound != 1e-7 {
+		t.Fatalf("round-tripped event wrong: %+v", ev)
+	}
+	// Optional fields must be omitted when zero.
+	if strings.Contains(lines[1], "bound") || strings.Contains(lines[1], "msg") {
+		t.Fatalf("zero optional fields serialized: %s", lines[1])
+	}
+}
+
+type failWriter struct{ after int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.after--
+	return len(p), nil
+}
+
+func TestEventLogSinkErrorRemembered(t *testing.T) {
+	l := NewEventLog(8)
+	l.SetSink(&failWriter{after: 1})
+	l.Emit(Event{Kind: EventFault})
+	if err := l.SinkErr(); err != nil {
+		t.Fatalf("unexpected early sink error: %v", err)
+	}
+	l.Emit(Event{Kind: EventFault})
+	if err := l.SinkErr(); err == nil {
+		t.Fatal("sink error not remembered")
+	}
+	// Further emits still land in the ring.
+	l.Emit(Event{Kind: EventFault})
+	if got := l.Total(); got != 3 {
+		t.Fatalf("Total = %d, want 3", got)
+	}
+}
+
+func TestEventLogObservers(t *testing.T) {
+	l := NewEventLog(8)
+	var seen []Event
+	l.Observe(func(ev Event) {
+		seen = append(seen, ev)
+		// Observers may Emit (the SLO engine emits breach events); this
+		// must not deadlock. Guard against infinite recursion.
+		if ev.Kind == EventFault {
+			l.Emit(Event{Kind: EventBreach, Label: "from-observer"})
+		}
+	})
+	l.Emit(Event{Kind: EventFault})
+	if len(seen) != 2 || seen[1].Kind != EventBreach {
+		t.Fatalf("observer fan-out wrong: %+v", seen)
+	}
+	if got := l.Counts()[EventBreach]; got != 1 {
+		t.Fatalf("breach count = %d, want 1", got)
+	}
+}
+
+func TestEventLogNil(t *testing.T) {
+	var l *EventLog
+	l.Emit(Event{Kind: EventFault})
+	l.StartRun("x")
+	l.Observe(func(Event) {})
+	l.SetSink(nil)
+	if l.Events() != nil || l.Total() != 0 || l.Dropped() != 0 || l.Counts() != nil || l.SinkErr() != nil {
+		t.Fatal("nil EventLog must be inert")
+	}
+}

@@ -132,6 +132,21 @@ func (s HistStat) Mean() float64 {
 }
 
 // quantile estimates the q-quantile (0 < q ≤ 1) from the buckets.
+//
+// The estimator is nearest-rank over the power-of-two buckets: the
+// target rank is ceil(q·count); the bucket containing that rank
+// reports its geometric midpoint (2^(i-32)·√2), clamped to the
+// observed [min, max]. Resolution is therefore a factor of √2 — enough
+// to tell a tail from a shifted median, not enough to compare values
+// inside one bucket.
+//
+// Tail behavior on small samples: when the target rank lands on the
+// last observation (ceil(q·count) == count, true for p99 whenever
+// count < 100), the estimate is exactly the observed maximum rather
+// than a bucket midpoint. Nearest-rank selects the maximum there, and
+// reporting the midpoint of a wide bucket would understate (or, after
+// clamping, misstate) a tail the histogram has actually seen. With one
+// sample every quantile collapses onto it.
 func (h *hist) quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
@@ -139,6 +154,9 @@ func (h *hist) quantile(q float64) float64 {
 	target := int64(math.Ceil(q * float64(h.count)))
 	if target < 1 {
 		target = 1
+	}
+	if target >= h.count {
+		return h.max
 	}
 	var cum int64
 	for i, n := range h.buckets {
@@ -164,6 +182,13 @@ func (h *hist) quantile(q float64) float64 {
 	return h.max
 }
 
+func (h *hist) stat() HistStat {
+	return HistStat{
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		P50: h.quantile(0.50), P95: h.quantile(0.95), P99: h.quantile(0.99),
+	}
+}
+
 // Hist returns a histogram's summary and whether it exists.
 func (m *Metrics) Hist(name string) (HistStat, bool) {
 	if m == nil {
@@ -175,10 +200,117 @@ func (m *Metrics) Hist(name string) (HistStat, bool) {
 	if !ok {
 		return HistStat{}, false
 	}
-	return HistStat{
-		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
-		P50: h.quantile(0.50), P95: h.quantile(0.95), P99: h.quantile(0.99),
-	}, true
+	return h.stat(), true
+}
+
+// Snapshot is a self-consistent copy of the whole registry, taken under
+// one lock acquisition: every exporter-visible relation between values
+// (raw vs. wire bytes, count vs. sum) holds within one snapshot, which
+// per-name Counter/Gauge/Hist round-trips cannot guarantee while a run
+// is mutating the registry.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]float64
+	Hists    map[string]HistStat
+}
+
+// Snapshot copies the registry under a single lock acquisition. A nil
+// registry yields an empty (but usable) snapshot.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Hists:    map[string]HistStat{},
+	}
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for n, v := range m.counters {
+		s.Counters[n] = v
+	}
+	for n, v := range m.gauges {
+		s.Gauges[n] = v
+	}
+	for n, h := range m.hists {
+		s.Hists[n] = h.stat()
+	}
+	return s
+}
+
+// CounterNames returns the snapshot's counter names, sorted.
+func (s Snapshot) CounterNames() []string { return sortedKeysI(s.Counters) }
+
+// GaugeNames returns the snapshot's gauge names, sorted.
+func (s Snapshot) GaugeNames() []string { return sortedKeysF(s.Gauges) }
+
+// HistNames returns the snapshot's histogram names, sorted.
+func (s Snapshot) HistNames() []string {
+	names := make([]string, 0, len(s.Hists))
+	for n := range s.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedKeysI(m map[string]int64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedKeysF(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CompressionStats extracts the per-label compression counters from the
+// snapshot, sorted by label (see Metrics.CompressionStats).
+func (s Snapshot) CompressionStats() []CompressionStat {
+	byLabel := make(map[string]*CompressionStat)
+	get := func(label string) *CompressionStat {
+		cs := byLabel[label]
+		if cs == nil {
+			cs = &CompressionStat{Label: label}
+			byLabel[label] = cs
+		}
+		return cs
+	}
+	for name, v := range s.Counters {
+		if !strings.HasPrefix(name, compressPrefix) {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, rawBytesSuffix):
+			get(name[len(compressPrefix) : len(name)-len(rawBytesSuffix)]).RawBytes = v
+		case strings.HasSuffix(name, wireBytesSuffix):
+			get(name[len(compressPrefix) : len(name)-len(wireBytesSuffix)]).WireBytes = v
+		}
+	}
+	for name, v := range s.Gauges {
+		if strings.HasPrefix(name, compressPrefix) && strings.HasSuffix(name, errBoundSuffix) {
+			get(name[len(compressPrefix) : len(name)-len(errBoundSuffix)]).ErrorBound = v
+		}
+	}
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := make([]CompressionStat, len(labels))
+	for i, l := range labels {
+		out[i] = *byLabel[l]
+	}
+	return out
 }
 
 // CounterNames returns all counter names, sorted.
@@ -270,41 +402,9 @@ func (m *Metrics) CompressionStats() []CompressionStat {
 	if m == nil {
 		return nil
 	}
-	m.mu.Lock()
-	byLabel := make(map[string]*CompressionStat)
-	get := func(label string) *CompressionStat {
-		s := byLabel[label]
-		if s == nil {
-			s = &CompressionStat{Label: label}
-			byLabel[label] = s
-		}
-		return s
+	s := m.Snapshot().CompressionStats()
+	if len(s) == 0 {
+		return nil
 	}
-	for name, v := range m.counters {
-		if !strings.HasPrefix(name, compressPrefix) {
-			continue
-		}
-		switch {
-		case strings.HasSuffix(name, rawBytesSuffix):
-			get(name[len(compressPrefix) : len(name)-len(rawBytesSuffix)]).RawBytes = v
-		case strings.HasSuffix(name, wireBytesSuffix):
-			get(name[len(compressPrefix) : len(name)-len(wireBytesSuffix)]).WireBytes = v
-		}
-	}
-	for name, v := range m.gauges {
-		if strings.HasPrefix(name, compressPrefix) && strings.HasSuffix(name, errBoundSuffix) {
-			get(name[len(compressPrefix) : len(name)-len(errBoundSuffix)]).ErrorBound = v
-		}
-	}
-	m.mu.Unlock()
-	labels := make([]string, 0, len(byLabel))
-	for l := range byLabel {
-		labels = append(labels, l)
-	}
-	sort.Strings(labels)
-	out := make([]CompressionStat, len(labels))
-	for i, l := range labels {
-		out[i] = *byLabel[l]
-	}
-	return out
+	return s
 }

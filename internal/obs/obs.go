@@ -152,6 +152,10 @@ type Recorder struct {
 	machine     Machine
 
 	metrics *Metrics
+	// events, when non-nil, receives live telemetry events (phase
+	// completions, faults, repairs, ...). Set before the run starts; not
+	// synchronized against concurrent recording.
+	events *EventLog
 }
 
 // New creates a Recorder. New(Options{}) records nothing but is still
@@ -201,6 +205,24 @@ func (r *Recorder) Metrics() *Metrics {
 		return nil
 	}
 	return r.metrics
+}
+
+// SetEventLog attaches a live event log; subsequent phase completions
+// and emitted events flow into it. Attach before the run starts (like
+// SetMachine); detach by passing nil.
+func (r *Recorder) SetEventLog(l *EventLog) {
+	if r == nil {
+		return
+	}
+	r.events = l
+}
+
+// EventLog returns the attached event log (nil when events are off).
+func (r *Recorder) EventLog() *EventLog {
+	if r == nil {
+		return nil
+	}
+	return r.events
 }
 
 // Rank returns (creating on demand) the recording handle of one rank.
@@ -312,8 +334,18 @@ type Rank struct {
 	rec     *Recorder
 	id      int
 	spans   []Span
-	open    []int32 // indexes of open spans; -1 marks a dropped Begin
+	open    []openSpan
 	dropped int64
+}
+
+// openSpan is one Begin waiting for its End. It carries the phase and
+// begin time so End can emit a phase-completion event even when the
+// span itself was dropped (or span retention is off entirely).
+type openSpan struct {
+	idx   int32 // index into spans; -1 when the span was not retained
+	track Track
+	ph    Phase
+	begin float64
 }
 
 // ID returns the rank id (-1 on a nil handle).
@@ -327,31 +359,41 @@ func (rk *Rank) ID() int {
 // Begin opens a nested span at virtual time t. Every Begin must be
 // paired with an End on the same handle; pairs nest like a call stack.
 func (rk *Rank) Begin(track Track, ph Phase, t float64) {
-	if rk == nil || !rk.rec.traceOn {
+	if rk == nil || (!rk.rec.traceOn && rk.rec.events == nil) {
 		return
 	}
-	if len(rk.spans) >= rk.rec.spanCap {
-		rk.dropped++
-		rk.open = append(rk.open, -1)
-		return
+	idx := int32(-1)
+	if rk.rec.traceOn {
+		if len(rk.spans) >= rk.rec.spanCap {
+			rk.dropped++
+		} else {
+			idx = int32(len(rk.spans))
+			rk.spans = append(rk.spans, Span{Phase: ph, Track: track, Begin: t})
+		}
 	}
-	rk.open = append(rk.open, int32(len(rk.spans)))
-	rk.spans = append(rk.spans, Span{Phase: ph, Track: track, Begin: t})
+	rk.open = append(rk.open, openSpan{idx: idx, track: track, ph: ph, begin: t})
 }
 
 // End closes the innermost open span at virtual time t, attributing
-// bytes to it. An unmatched End is ignored.
+// bytes to it. An unmatched End is ignored. When an event log is
+// attached, the completion of a host-track pipeline phase is also
+// emitted as an EventPhase event.
 func (rk *Rank) End(t float64, bytes int64) {
-	if rk == nil || !rk.rec.traceOn || len(rk.open) == 0 {
+	if rk == nil || len(rk.open) == 0 {
 		return
 	}
-	idx := rk.open[len(rk.open)-1]
+	o := rk.open[len(rk.open)-1]
 	rk.open = rk.open[:len(rk.open)-1]
-	if idx < 0 {
-		return // the matching Begin was dropped
+	if o.idx >= 0 {
+		rk.spans[o.idx].End = t
+		rk.spans[o.idx].Bytes = bytes
 	}
-	rk.spans[idx].End = t
-	rk.spans[idx].Bytes = bytes
+	if l := rk.rec.events; l != nil && o.track == TrackHost && o.ph.Pipeline() {
+		l.Emit(Event{
+			T: t, Rank: rk.id, Kind: EventPhase,
+			Label: o.ph.String(), Peer: -1, Value: t - o.begin,
+		})
+	}
 }
 
 // Span records a complete interval directly (used when begin and end are
@@ -389,4 +431,22 @@ func (rk *Rank) Observe(name string, v float64) {
 		return
 	}
 	rk.rec.metrics.Observe(name, v)
+}
+
+// EventsOn reports whether an event log is attached — the gate for
+// instrumentation whose only purpose is to feed events (e.g. measuring
+// achieved compression error), so it stays zero-cost when telemetry is
+// off.
+func (rk *Rank) EventsOn() bool {
+	return rk != nil && rk.rec.events != nil
+}
+
+// Emit sends an event into the attached event log, stamping the rank
+// id. A no-op without a log.
+func (rk *Rank) Emit(ev Event) {
+	if rk == nil || rk.rec.events == nil {
+		return
+	}
+	ev.Rank = rk.id
+	rk.rec.events.Emit(ev)
 }

@@ -1,0 +1,462 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics export: the registry's slash-scoped names are mapped onto
+// Prometheus/OpenMetrics families mechanically, so every metric any
+// layer registers is scrapeable without an export table:
+//
+//   - names with three or more segments, "a/<mid...>/z", become family
+//     "fft_a_z" with the middle segments as a label {label="<mid...>"}
+//     — e.g. compress/fwd0/raw_bytes → fft_compress_raw_bytes{label="fwd0"};
+//   - shorter names join with underscores: mpi/puts → fft_mpi_puts;
+//   - a trailing "_s" unit becomes "_seconds";
+//   - counters expose the sample "<family>_total"; histograms export as
+//     summaries (quantile 0.5/0.95/0.99 series plus _sum and _count).
+//
+// Segment characters outside [a-zA-Z0-9_] are replaced with "_" in the
+// family name; label values are emitted verbatim (escaped).
+
+// Label is one name="value" pair on a series.
+type Label struct{ Name, Value string }
+
+// Series is one sample line of a family: an optional sample-name suffix
+// ("_total", "_sum", "_count" or none), its labels, and the value.
+type Series struct {
+	Suffix string
+	Labels []Label
+	Value  float64
+}
+
+// Family is one OpenMetrics metric family.
+type Family struct {
+	Name   string // mangled family name, e.g. "fft_exchange_time_seconds"
+	Type   string // "counter", "gauge", or "summary"
+	Series []Series
+}
+
+// openMetricsName maps a registry name onto (family, label-value); the
+// label value is empty for names with fewer than three segments.
+func openMetricsName(raw string) (fam, label string) {
+	parts := strings.Split(raw, "/")
+	if len(parts) >= 3 {
+		label = strings.Join(parts[1:len(parts)-1], "/")
+		fam = sanitizeMetricPart(parts[0]) + "_" + sanitizeMetricPart(parts[len(parts)-1])
+	} else {
+		fam = sanitizeMetricPart(strings.Join(parts, "_"))
+	}
+	fam = "fft_" + fam
+	if strings.HasSuffix(fam, "_s") {
+		fam = strings.TrimSuffix(fam, "_s") + "_seconds"
+	}
+	return fam, label
+}
+
+func sanitizeMetricPart(s string) string {
+	var b strings.Builder
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func labelFor(value string) []Label {
+	if value == "" {
+		return nil
+	}
+	return []Label{{Name: "label", Value: value}}
+}
+
+// OpenMetricsFamilies converts the snapshot into metric families using
+// the mechanical name mapping above. Families and series come out
+// sorted, so the exposition is deterministic.
+func (s Snapshot) OpenMetricsFamilies() []Family {
+	byName := map[string]*Family{}
+	var add func(name, typ string, series ...Series)
+	add = func(name, typ string, series ...Series) {
+		f := byName[name]
+		if f == nil {
+			f = &Family{Name: name, Type: typ}
+			byName[name] = f
+		} else if f.Type != typ {
+			// A registry name that mangles onto an existing family of a
+			// different kind; disambiguate by appending the kind.
+			add(name+"_"+typ, typ, series...)
+			return
+		}
+		f.Series = append(f.Series, series...)
+	}
+	for _, raw := range s.CounterNames() {
+		fam, label := openMetricsName(raw)
+		fam = strings.TrimSuffix(fam, "_total")
+		add(fam, "counter", Series{Suffix: "_total", Labels: labelFor(label), Value: float64(s.Counters[raw])})
+	}
+	for _, raw := range s.GaugeNames() {
+		fam, label := openMetricsName(raw)
+		add(fam, "gauge", Series{Labels: labelFor(label), Value: s.Gauges[raw]})
+	}
+	for _, raw := range s.HistNames() {
+		fam, label := openMetricsName(raw)
+		h := s.Hists[raw]
+		ls := labelFor(label)
+		q := func(qv string, v float64) Series {
+			qls := append(append([]Label{}, ls...), Label{Name: "quantile", Value: qv})
+			return Series{Labels: qls, Value: v}
+		}
+		add(fam, "summary",
+			q("0.5", h.P50), q("0.95", h.P95), q("0.99", h.P99),
+			Series{Suffix: "_sum", Labels: ls, Value: h.Sum},
+			Series{Suffix: "_count", Labels: ls, Value: float64(h.Count)},
+		)
+	}
+	out := make([]Family, 0, len(byName))
+	for _, f := range byName {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteOpenMetrics writes the families as an OpenMetrics text
+// exposition, merging the given groups (same-name same-type families
+// concatenate their series) and terminating with the mandatory "# EOF".
+func WriteOpenMetrics(w io.Writer, groups ...[]Family) error {
+	byName := map[string]*Family{}
+	var order []string
+	for _, fams := range groups {
+		for _, f := range fams {
+			g := byName[f.Name]
+			if g == nil {
+				cp := f
+				cp.Series = append([]Series(nil), f.Series...)
+				byName[f.Name] = &cp
+				order = append(order, f.Name)
+				continue
+			}
+			if g.Type == f.Type {
+				g.Series = append(g.Series, f.Series...)
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		f := byName[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		series := append([]Series(nil), f.Series...)
+		sort.SliceStable(series, func(i, j int) bool {
+			li, lj := labelString(series[i].Labels), labelString(series[j].Labels)
+			if li != lj {
+				return li < lj
+			}
+			return series[i].Suffix < series[j].Suffix
+		})
+		for _, sr := range series {
+			val := strconv.FormatFloat(sr.Value, 'g', -1, 64)
+			if sr.Suffix == "_count" || (f.Type == "counter" && sr.Value == float64(int64(sr.Value))) {
+				val = strconv.FormatInt(int64(sr.Value), 10)
+			}
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n", f.Name, sr.Suffix, labelString(sr.Labels), val); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func labelString(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// OMSample is one parsed sample line of an OpenMetrics exposition.
+type OMSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's "label" label (the registry's middle
+// segments), empty when absent.
+func (s OMSample) Label() string { return s.Labels["label"] }
+
+// ParseOpenMetrics parses and lints a text exposition: it enforces the
+// structural rules we rely on (every sample preceded by its family's
+// "# TYPE" line, family blocks contiguous, counters sampled as
+// "<family>_total", no duplicate series, a final "# EOF") and returns
+// the samples. This is the validation behind `obswatch -lint` and the
+// scrape tests; it is a strict subset of the OpenMetrics spec, not a
+// general parser.
+func ParseOpenMetrics(data []byte) ([]OMSample, error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 || lines[len(lines)-1] != "# EOF" {
+		return nil, fmt.Errorf("openmetrics: missing final %q line", "# EOF")
+	}
+	declared := map[string]string{} // family -> type
+	seen := map[string]bool{}       // name+labels -> true
+	var samples []OMSample
+	current := ""
+	for ln, line := range lines {
+		lineNo := ln + 1
+		switch {
+		case line == "# EOF":
+			if lineNo != len(lines) {
+				return nil, fmt.Errorf("openmetrics:%d: %q before end of exposition", lineNo, "# EOF")
+			}
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line[len("# TYPE "):])
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("openmetrics:%d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("openmetrics:%d: invalid family name %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "summary", "histogram", "unknown", "info", "stateset":
+			default:
+				return nil, fmt.Errorf("openmetrics:%d: unknown family type %q", lineNo, typ)
+			}
+			if _, dup := declared[name]; dup {
+				return nil, fmt.Errorf("openmetrics:%d: family %q declared twice", lineNo, name)
+			}
+			declared[name] = typ
+			current = name
+			continue
+		case strings.HasPrefix(line, "# HELP "), strings.HasPrefix(line, "# UNIT "):
+			continue
+		case strings.HasPrefix(line, "#"):
+			return nil, fmt.Errorf("openmetrics:%d: unrecognized comment line %q", lineNo, line)
+		case line == "":
+			return nil, fmt.Errorf("openmetrics:%d: blank line inside exposition", lineNo)
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("openmetrics:%d: %v", lineNo, err)
+		}
+		if current == "" || !sampleInFamily(s.Name, current, declared[current]) {
+			fam, ok := owningFamily(s.Name, declared)
+			switch {
+			case !ok:
+				return nil, fmt.Errorf("openmetrics:%d: sample %q has no preceding TYPE line", lineNo, s.Name)
+			case fam != current:
+				return nil, fmt.Errorf("openmetrics:%d: sample %q outside its family block %q", lineNo, s.Name, fam)
+			default:
+				return nil, fmt.Errorf("openmetrics:%d: sample %q has invalid suffix for %s family %q", lineNo, s.Name, declared[current], current)
+			}
+		}
+		key := s.Name + labelKey(s.Labels)
+		if seen[key] {
+			return nil, fmt.Errorf("openmetrics:%d: duplicate series %q", lineNo, key)
+		}
+		seen[key] = true
+		samples = append(samples, s)
+	}
+	return samples, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleInFamily reports whether sample name belongs to the family
+// given its declared type (counter samples must use _total, summaries
+// may add _sum/_count, histograms _bucket/_sum/_count).
+func sampleInFamily(name, fam, typ string) bool {
+	if !strings.HasPrefix(name, fam) {
+		return false
+	}
+	suffix := name[len(fam):]
+	switch typ {
+	case "counter":
+		return suffix == "_total" || suffix == "_created"
+	case "summary":
+		return suffix == "" || suffix == "_sum" || suffix == "_count" || suffix == "_created"
+	case "histogram":
+		return suffix == "_bucket" || suffix == "_sum" || suffix == "_count" || suffix == "_created"
+	default:
+		return suffix == ""
+	}
+}
+
+// owningFamily finds the declared family a sample name belongs to.
+func owningFamily(name string, declared map[string]string) (string, bool) {
+	for fam, typ := range declared {
+		if sampleInFamily(name, fam, typ) {
+			return fam, true
+		}
+	}
+	return "", false
+}
+
+func parseSampleLine(line string) (OMSample, error) {
+	var s OMSample
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := -1
+		for j := 1; j < len(rest); j++ {
+			if rest[j] == '"' { // skip quoted values (with escapes)
+				for j++; j < len(rest); j++ {
+					if rest[j] == '\\' {
+						j++
+					} else if rest[j] == '"' {
+						break
+					}
+				}
+				continue
+			}
+			if rest[j] == '}' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("malformed sample value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label in %q", body)
+		}
+		name := body[:eq]
+		if !validMetricName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		body = body[eq+1:]
+		if len(body) == 0 || body[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", name)
+		}
+		var b strings.Builder
+		j := 1
+		for ; j < len(body); j++ {
+			if body[j] == '\\' && j+1 < len(body) {
+				j++
+				switch body[j] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(body[j])
+				}
+				continue
+			}
+			if body[j] == '"' {
+				break
+			}
+			b.WriteByte(body[j])
+		}
+		if j >= len(body) {
+			return nil, fmt.Errorf("unterminated label value for %q", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = b.String()
+		body = body[j+1:]
+		if len(body) > 0 {
+			if body[0] != ',' {
+				return nil, fmt.Errorf("malformed label separator in %q", body)
+			}
+			body = body[1:]
+		}
+	}
+	return labels, nil
+}
+
+func labelKey(ls map[string]string) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteByte('|')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(ls[k])
+	}
+	return b.String()
+}

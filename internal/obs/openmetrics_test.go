@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSnapshot populates a registry the way a run does: slash-scoped
+// counters, gauges, and histograms with and without label segments.
+func buildSnapshot() Snapshot {
+	m := newMetrics()
+	m.Add("fault/drops", 3)
+	m.Add("exchange/repairs", 2)
+	m.Add("compress/fwd0/raw_bytes", 4096)
+	m.Add("compress/fwd0/wire_bytes", 1024)
+	m.Set("fault/retry_delay_s", 0.25)
+	m.Set("compress/fwd0/error_bound", 1e-7)
+	for i := 0; i < 10; i++ {
+		m.Observe("exchange/fwd0/time_s", float64(i+1)*1e-4)
+	}
+	return m.Snapshot()
+}
+
+func TestOpenMetricsWriteParseRoundTrip(t *testing.T) {
+	snap := buildSnapshot()
+	var buf strings.Builder
+	if err := WriteOpenMetrics(&buf, snap.OpenMetricsFamilies()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.HasSuffix(strings.TrimRight(text, "\n"), "# EOF") {
+		t.Fatalf("exposition missing # EOF terminator:\n%s", text)
+	}
+	samples, err := ParseOpenMetrics([]byte(text))
+	if err != nil {
+		t.Fatalf("self-produced exposition fails lint: %v\n%s", err, text)
+	}
+
+	find := func(name, label string) (OMSample, bool) {
+		for _, s := range samples {
+			if s.Name == name && s.Label() == label {
+				return s, true
+			}
+		}
+		return OMSample{}, false
+	}
+	// 2-segment counter: joined name.
+	if s, ok := find("fft_fault_drops_total", ""); !ok || s.Value != 3 {
+		t.Fatalf("fault_drops sample wrong: %+v ok=%v\n%s", s, ok, text)
+	}
+	// 3-segment counter: middle segment becomes the label.
+	if s, ok := find("fft_compress_raw_bytes_total", "fwd0"); !ok || s.Value != 4096 {
+		t.Fatalf("compress raw_bytes sample wrong: %+v ok=%v\n%s", s, ok, text)
+	}
+	// _s gauge: unit expanded to _seconds.
+	if s, ok := find("fft_fault_retry_delay_seconds", ""); !ok || s.Value != 0.25 {
+		t.Fatalf("retry_delay gauge wrong: %+v ok=%v\n%s", s, ok, text)
+	}
+	// Histogram exported as a summary: count, sum, and quantiles.
+	if s, ok := find("fft_exchange_time_seconds_count", "fwd0"); !ok || s.Value != 10 {
+		t.Fatalf("hist count wrong: %+v ok=%v\n%s", s, ok, text)
+	}
+	var quantiles int
+	for _, s := range samples {
+		if s.Name == "fft_exchange_time_seconds" && s.Labels["quantile"] != "" {
+			quantiles++
+		}
+	}
+	if quantiles != 3 {
+		t.Fatalf("summary has %d quantile samples, want 3\n%s", quantiles, text)
+	}
+}
+
+func TestOpenMetricsMergesExtraFamilies(t *testing.T) {
+	snap := buildSnapshot()
+	extra := []Family{{
+		Name: "fft_slo_breach", Type: "counter",
+		Series: []Series{{Suffix: "_total", Labels: []Label{{Name: "objective", Value: "p99"}}, Value: 1}},
+	}}
+	var buf strings.Builder
+	if err := WriteOpenMetrics(&buf, snap.OpenMetricsFamilies(), extra); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseOpenMetrics([]byte(buf.String()))
+	if err != nil {
+		t.Fatalf("merged exposition fails lint: %v\n%s", err, buf.String())
+	}
+	found := false
+	for _, s := range samples {
+		if s.Name == "fft_slo_breach_total" && s.Labels["objective"] == "p99" && s.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("extra family missing from exposition:\n%s", buf.String())
+	}
+}
+
+func TestOpenMetricsEscaping(t *testing.T) {
+	fams := []Family{{
+		Name: "fft_test_values", Type: "gauge",
+		Series: []Series{{Labels: []Label{{Name: "label", Value: `quote " slash \ newline` + "\n"}}, Value: 1}},
+	}}
+	var buf strings.Builder
+	if err := WriteOpenMetrics(&buf, fams); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseOpenMetrics([]byte(buf.String()))
+	if err != nil {
+		t.Fatalf("escaped exposition fails lint: %v\n%s", err, buf.String())
+	}
+	if len(samples) != 1 || samples[0].Label() != `quote " slash \ newline`+"\n" {
+		t.Fatalf("label did not round-trip: %+v", samples)
+	}
+}
+
+// TestParseOpenMetricsRejects locks in the linter's strictness: each
+// malformed exposition must be refused, not silently accepted.
+func TestParseOpenMetricsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"missing EOF", "# TYPE fft_x counter\nfft_x_total 1\n"},
+		{"sample before TYPE", "fft_x_total 1\n# TYPE fft_x counter\n# EOF\n"},
+		{"counter without _total", "# TYPE fft_x counter\nfft_x 1\n# EOF\n"},
+		{"summary with bad suffix", "# TYPE fft_x summary\nfft_x_bucket 1\n# EOF\n"},
+		{"split family", "# TYPE fft_x counter\nfft_x_total 1\n# TYPE fft_y gauge\nfft_y 1\nfft_x_total 2\n# EOF\n"},
+		{"duplicate series", "# TYPE fft_x gauge\nfft_x 1\nfft_x 2\n# EOF\n"},
+		{"invalid name", "# TYPE 9bad counter\n9bad_total 1\n# EOF\n"},
+		{"garbage value", "# TYPE fft_x gauge\nfft_x notanumber\n# EOF\n"},
+		{"unterminated label", `# TYPE fft_x gauge` + "\n" + `fft_x{label="a 1` + "\n# EOF\n"},
+		{"duplicate TYPE", "# TYPE fft_x gauge\n# TYPE fft_x gauge\nfft_x 1\n# EOF\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseOpenMetrics([]byte(tc.text)); err == nil {
+				t.Fatalf("lint accepted malformed exposition:\n%s", tc.text)
+			}
+		})
+	}
+}
+
+// TestSnapshotConsistent checks that Snapshot copies, not aliases, the
+// registry: mutations after the snapshot must not show through.
+func TestSnapshotConsistent(t *testing.T) {
+	m := newMetrics()
+	m.Add("c", 1)
+	m.Set("g", 2)
+	m.Observe("h", 3)
+	snap := m.Snapshot()
+	m.Add("c", 10)
+	m.Set("g", 20)
+	m.Observe("h", 30)
+	if snap.Counters["c"] != 1 || snap.Gauges["g"] != 2 || snap.Hists["h"].Count != 1 {
+		t.Fatalf("snapshot aliases live registry: %+v", snap)
+	}
+	if m.Counter("c") != 11 {
+		t.Fatalf("live registry wrong: %d", m.Counter("c"))
+	}
+}
+
+func TestSnapshotNilMetrics(t *testing.T) {
+	var m *Metrics
+	snap := m.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.CounterNames()) != 0 {
+		t.Fatal("nil Metrics snapshot must be empty and usable")
+	}
+	var buf strings.Builder
+	if err := WriteOpenMetrics(&buf, snap.OpenMetricsFamilies()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseOpenMetrics([]byte(buf.String())); err != nil {
+		t.Fatalf("empty exposition fails lint: %v", err)
+	}
+}

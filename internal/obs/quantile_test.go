@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestQuantileSmallSamples pins the estimator's tail behavior on small
+// sample counts (documented on hist.quantile): whenever the target rank
+// ceil(q·count) lands on the last observation — always true for p99
+// with fewer than 100 samples — the estimate must be the observed
+// maximum, never the midpoint of a wide bucket.
+func TestQuantileSmallSamples(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		q       float64
+		want    float64 // exact expected estimate
+	}{
+		{"single sample p50", []float64{0.25}, 0.50, 0.25},
+		{"single sample p99", []float64{0.25}, 0.99, 0.25},
+		{"two samples p99 is max", []float64{1, 1000}, 0.99, 1000},
+		{"ten samples p99 is max", []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 7}, 0.99, 7},
+		{"ten samples p95 is max", []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 7}, 0.95, 7},
+		{"99 samples p99 is max", append(repeat(1.0, 98), 512), 0.99, 512},
+		{"identical samples p50", repeat(3.5, 10), 0.50, 3.5},
+		{"identical samples p99", repeat(3.5, 99), 0.99, 3.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newMetrics()
+			for _, v := range tc.samples {
+				m.Observe("h", v)
+			}
+			got := quantileOf(t, m, tc.q)
+			if got != tc.want {
+				t.Fatalf("q=%.2f of %d samples = %g, want %g", tc.q, len(tc.samples), got, tc.want)
+			}
+		})
+	}
+}
+
+// TestQuantileLargeSampleBuckets checks the interior path: with 100+
+// samples the p99 rank no longer pins to the max, and the bucketed
+// estimate must stay within the estimator's √2 resolution (clamped to
+// the observed range).
+func TestQuantileLargeSampleBuckets(t *testing.T) {
+	m := newMetrics()
+	// 990 samples at 1.0, 10 at 1000: the p99 rank (990) falls on the
+	// last 1.0 sample, so the estimate must stay in 1.0's bucket.
+	for i := 0; i < 990; i++ {
+		m.Observe("h", 1.0)
+	}
+	for i := 0; i < 10; i++ {
+		m.Observe("h", 1000.0)
+	}
+	p99 := quantileOf(t, m, 0.99)
+	if p99 < 1.0/1.5 || p99 > 1.0*1.5 {
+		t.Fatalf("p99 = %g, want within √2 of 1.0", p99)
+	}
+	// p999 rank (990.01 → 991) lands among the 1000s; clamped to max.
+	s, _ := m.Hist("h")
+	if s.Max != 1000 {
+		t.Fatalf("max = %g, want 1000", s.Max)
+	}
+}
+
+// TestQuantileMonotone checks q1 ≤ q2 ⇒ estimate(q1) ≤ estimate(q2)
+// across sample counts spanning the tail-pinned and interior regimes.
+func TestQuantileMonotone(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 50, 99, 100, 1000} {
+		m := newMetrics()
+		for i := 0; i < n; i++ {
+			m.Observe("h", float64(1+i%37)*0.125)
+		}
+		s, ok := m.Hist("h")
+		if !ok {
+			t.Fatal("histogram missing")
+		}
+		if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+			t.Fatalf("n=%d: quantiles not monotone: p50=%g p95=%g p99=%g", n, s.P50, s.P95, s.P99)
+		}
+		if s.P99 > s.Max || s.P50 < s.Min {
+			t.Fatalf("n=%d: quantiles escape [min,max]: %+v", n, s)
+		}
+	}
+}
+
+func quantileOf(t *testing.T, m *Metrics, q float64) float64 {
+	t.Helper()
+	s, ok := m.Hist("h")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	switch q {
+	case 0.50:
+		return s.P50
+	case 0.95:
+		return s.P95
+	case 0.99:
+		return s.P99
+	}
+	panic(fmt.Sprintf("unsupported q %g", q))
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -143,8 +143,10 @@ func (r *Recorder) WriteReport(w io.Writer) {
 			"wall", b.Wall*1e3, 100*b.Coverage())
 	}
 
-	m := r.metrics
-	if stats := m.CompressionStats(); len(stats) > 0 {
+	// One lock round-trip for the whole registry: related values (raw
+	// vs. wire bytes) stay consistent even while a run is mutating it.
+	snap := r.metrics.Snapshot()
+	if stats := snap.CompressionStats(); len(stats) > 0 {
 		fmt.Fprintln(w, "achieved compression")
 		for _, s := range stats {
 			fmt.Fprintf(w, "  %-12s %8.2fx  (%d -> %d bytes, error bound %.2e)\n",
@@ -157,26 +159,25 @@ func (r *Recorder) WriteReport(w io.Writer) {
 			r.DroppedSpans(), r.DroppedWire())
 	}
 
-	if m == nil {
+	if r.metrics == nil {
 		return
 	}
-	if names := m.CounterNames(); len(names) > 0 {
+	if names := snap.CounterNames(); len(names) > 0 {
 		fmt.Fprintln(w, "counters")
 		for _, n := range names {
-			fmt.Fprintf(w, "  %-40s %d\n", n, m.Counter(n))
+			fmt.Fprintf(w, "  %-40s %d\n", n, snap.Counters[n])
 		}
 	}
-	if names := m.GaugeNames(); len(names) > 0 {
+	if names := snap.GaugeNames(); len(names) > 0 {
 		fmt.Fprintln(w, "gauges")
 		for _, n := range names {
-			v, _ := m.Gauge(n)
-			fmt.Fprintf(w, "  %-40s %g\n", n, v)
+			fmt.Fprintf(w, "  %-40s %g\n", n, snap.Gauges[n])
 		}
 	}
-	if names := m.HistNames(); len(names) > 0 {
+	if names := snap.HistNames(); len(names) > 0 {
 		fmt.Fprintln(w, "histograms")
 		for _, n := range names {
-			h, _ := m.Hist(n)
+			h := snap.Hists[n]
 			fmt.Fprintf(w, "  %-40s n=%d mean=%.3g min=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g\n",
 				n, h.Count, h.Mean(), h.Min, h.P50, h.P95, h.P99, h.Max)
 		}

@@ -1,0 +1,149 @@
+// Package serve exposes a running recorder over HTTP for live
+// inspection of long soaks:
+//
+//	/metrics      OpenMetrics text exposition (registry + SLO state)
+//	/healthz      liveness probe
+//	/slo          SLO objective status as JSON
+//	/events       the retained event ring as JSONL (?n= limits to the tail)
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// Handlers only read snapshots (Metrics.Snapshot, EventLog.Events,
+// Engine.Status) under their own locks on the serving goroutine, so
+// scraping never blocks the simulation's goroutines for more than a
+// map copy and never touches virtual time: a run scraped mid-flight
+// stays bit-identical to an unobserved one.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/obs/slo"
+)
+
+// Server serves one recorder/event-log/SLO-engine triple. Sources may
+// be swapped between runs (SetSources) while the listener stays up.
+type Server struct {
+	mu  sync.Mutex
+	rec *obs.Recorder
+	log *obs.EventLog
+	eng *slo.Engine
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// New creates an unstarted server with the given (possibly nil) sources.
+func New(rec *obs.Recorder, log *obs.EventLog, eng *slo.Engine) *Server {
+	return &Server{rec: rec, log: log, eng: eng}
+}
+
+// SetSources swaps the telemetry sources the handlers read (drivers
+// call this when a new cell creates a fresh recorder).
+func (s *Server) SetSources(rec *obs.Recorder, log *obs.EventLog, eng *slo.Engine) {
+	s.mu.Lock()
+	s.rec, s.log, s.eng = rec, log, eng
+	s.mu.Unlock()
+}
+
+func (s *Server) sources() (*obs.Recorder, *obs.EventLog, *slo.Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec, s.log, s.eng
+}
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves
+// in a background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/slo", s.handleSLO)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address (empty before Start).
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	rec, _, eng := s.sources()
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	snap := rec.Metrics().Snapshot()
+	if err := obs.WriteOpenMetrics(w, snap.OpenMetricsFamilies(), eng.Families()); err != nil {
+		return // client went away mid-scrape
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// SLOResponse is the /slo payload.
+type SLOResponse struct {
+	Summary    string       `json:"summary"`
+	Objectives []slo.Status `json:"objectives"`
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	_, _, eng := s.sources()
+	w.Header().Set("Content-Type", "application/json")
+	resp := SLOResponse{Summary: eng.Summary(), Objectives: eng.Status()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&resp) //nolint:errcheck // client went away mid-write
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	_, log, _ := s.sources()
+	events := log.Events()
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		if n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(&ev); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package serve_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/exchange"
+	"repro/internal/gpu"
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/obs/serve"
+	"repro/internal/obs/slo"
+)
+
+// loadRun is the seeded workload of the scrape-under-load test: a
+// compressed one-sided exchange iterated enough to give the scrapers a
+// real window of concurrent mutation. It emits exchange-latency and
+// achieved-error events when a log is attached and is bit-identical in
+// virtual time either way.
+func loadRun(rec *obs.Recorder, parallel bool) netsim.Result {
+	cfg := netsim.Summit(1)
+	cfg.Parallel = parallel
+	return mpi.RunWith(cfg, rec, func(c *mpi.Comm) {
+		x := exchange.NewCompressedOSC(c, compress.Cast16{}, gpu.NewStream(gpu.V100(), c), 3, exchange.UniformCount(64))
+		x.SetLabel("load")
+		send := make([][]float64, c.Size())
+		for d := range send {
+			send[d] = make([]float64, 64)
+			for i := range send[d] {
+				send[d][i] = float64(c.Rank()*1000+d*64+i) * 0.001
+			}
+		}
+		for it := 0; it < 25; it++ {
+			t0 := c.Now()
+			x.Exchange(send)
+			c.Obs().Emit(obs.Event{T: c.Now(), Kind: obs.EventExchange, Label: "load", Peer: -1, Value: c.Now() - t0})
+		}
+	})
+}
+
+// TestScrapeUnderLoad hammers /metrics and /events while the parallel
+// engine mutates the registry, asserting every scrape stays lint-clean
+// and that attaching the whole telemetry stack leaves the run's virtual
+// times bit-identical to an unobserved run under both engines.
+func TestScrapeUnderLoad(t *testing.T) {
+	rec := obs.New(obs.Options{Metrics: true})
+	log := obs.NewEventLog(0)
+	eng := slo.New(&slo.Config{Objectives: []slo.Objective{
+		{Name: "p99", Kind: slo.KindLatency, Target: 1, WindowS: 1, Budget: 0.01},
+	}}, log)
+	log.Observe(eng.ObserveEvent)
+	rec.SetEventLog(log)
+
+	srv := serve.New(rec, log, eng)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	done := make(chan struct{})
+	var scrapes, tails atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := scrapeOnce(base); err != nil {
+					errc <- err
+					return
+				}
+				scrapes.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := tailOnce(base); err != nil {
+					errc <- err
+					return
+				}
+				tails.Add(1)
+			}
+		}()
+	}
+
+	log.StartRun("load-test")
+	res := loadRun(rec, true)
+	close(done)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// One final scrape after the run: must still be lint-clean and carry
+	// the run's families.
+	if err := scrapeOnce(base); err != nil {
+		t.Fatal(err)
+	}
+	if scrapes.Load() == 0 || tails.Load() == 0 {
+		t.Fatalf("scrapers starved: %d scrapes, %d tails", scrapes.Load(), tails.Load())
+	}
+	if log.Total() == 0 {
+		t.Fatal("no events emitted during the run")
+	}
+
+	// Bit-identical virtual time vs. a run with no telemetry at all, on
+	// both engines.
+	for _, parallel := range []bool{true, false} {
+		bare := loadRun(nil, parallel)
+		if bare.Time != res.Time {
+			t.Fatalf("telemetry perturbed virtual time (parallel=%v): %v != %v", parallel, bare.Time, res.Time)
+		}
+		for r, c := range bare.Clocks {
+			if c != res.Clocks[r] {
+				t.Fatalf("telemetry perturbed rank %d clock (parallel=%v): %v != %v", r, parallel, c, res.Clocks[r])
+			}
+		}
+	}
+}
+
+func scrapeOnce(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		return fmt.Errorf("/metrics content type %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if _, err := obs.ParseOpenMetrics(data); err != nil {
+		return fmt.Errorf("mid-run scrape fails lint: %w\n%s", err, data)
+	}
+	return nil
+}
+
+func tailOnce(base string) error {
+	resp, err := http.Get(base + "/events?n=256")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/events: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return fmt.Errorf("/events line not JSON: %w: %s", err, line)
+		}
+		if ev.Kind == "" {
+			return fmt.Errorf("/events line missing kind: %s", line)
+		}
+	}
+	return sc.Err()
+}
+
+// TestServeEndpoints covers the sidecar's static endpoints once,
+// without load.
+func TestServeEndpoints(t *testing.T) {
+	rec := obs.New(obs.Options{Metrics: true})
+	log := obs.NewEventLog(0)
+	eng := slo.New(&slo.Config{Objectives: []slo.Objective{
+		{Name: "r", Kind: slo.KindRepair, MaxCount: 0},
+	}}, log)
+	log.Observe(eng.ObserveEvent)
+	srv := serve.New(rec, log, eng)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	log.Emit(obs.Event{T: 0.1, Kind: obs.EventRepair})
+	log.Emit(obs.Event{T: 0.2, Kind: obs.EventRepair})
+	code, body := get("/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/slo = %d", code)
+	}
+	var sr serve.SLOResponse
+	if err := json.Unmarshal([]byte(body), &sr); err != nil {
+		t.Fatalf("/slo not JSON: %v: %s", err, body)
+	}
+	if len(sr.Objectives) != 1 || sr.Objectives[0].Breaches != 1 || !strings.Contains(sr.Summary, "FAIL") {
+		t.Fatalf("/slo payload wrong: %+v", sr)
+	}
+	// Breach counter must be merged into the exposition.
+	code, body = get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, `fft_slo_breach_total{objective="r"} 1`) {
+		t.Fatalf("/metrics missing SLO families (%d):\n%s", code, body)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}

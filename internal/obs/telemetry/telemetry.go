@@ -1,0 +1,225 @@
+// Package telemetry bundles the live-telemetry plumbing every driver
+// shares: the -serve/-eventlog/-slo flag triple, the event log with its
+// JSONL sink, the SLO engine, and the HTTP server. Drivers create one
+// Session per process, Attach each run's recorder to it, and Close it
+// at exit. A nil *Session (telemetry off) is valid everywhere and does
+// nothing, so drivers need no conditionals.
+package telemetry
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/obs/serve"
+	"repro/internal/obs/slo"
+)
+
+// Flags holds the shared telemetry flag values.
+type Flags struct {
+	Serve    *string
+	EventLog *string
+	SLO      *string
+}
+
+// RegisterFlags declares the -serve/-eventlog/-slo flags on fs (nil
+// selects flag.CommandLine). Call before flag.Parse.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return &Flags{
+		Serve:    fs.String("serve", "", "serve live telemetry over HTTP on this address (/metrics, /healthz, /slo, /events, /debug/pprof); port 0 picks a free port"),
+		EventLog: fs.String("eventlog", "", "stream the telemetry event log to this file as JSONL"),
+		SLO:      fs.String("slo", "", "evaluate the SLO objectives in this JSON config (see docs/slo.example.json)"),
+	}
+}
+
+// Start builds the Session the parsed flags ask for; nil (and no error)
+// when all three are off.
+func (f *Flags) Start() (*Session, error) {
+	return Start(Config{Serve: *f.Serve, EventLog: *f.EventLog, SLO: *f.SLO})
+}
+
+// Config selects which telemetry pieces to enable; zero values are off.
+type Config struct {
+	Serve    string // HTTP listen address
+	EventLog string // JSONL sink path
+	SLO      string // objectives config path
+	EventCap int    // event ring capacity (0 = default)
+}
+
+// Session is one process's live-telemetry state.
+type Session struct {
+	log  *obs.EventLog
+	eng  *slo.Engine
+	srv  *serve.Server
+	addr string
+	file *os.File
+	bw   *bufio.Writer
+}
+
+// Start assembles a session: the event log spine, then the JSONL sink,
+// SLO engine, and HTTP server as configured. Returns nil when the
+// config enables nothing.
+func Start(cfg Config) (*Session, error) {
+	if cfg.Serve == "" && cfg.EventLog == "" && cfg.SLO == "" {
+		return nil, nil
+	}
+	s := &Session{log: obs.NewEventLog(cfg.EventCap)}
+	if cfg.EventLog != "" {
+		file, err := os.Create(cfg.EventLog)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: %w", err)
+		}
+		s.file = file
+		s.bw = bufio.NewWriter(file)
+		s.log.SetSink(s.bw)
+	}
+	if cfg.SLO != "" {
+		sc, err := slo.LoadConfig(cfg.SLO)
+		if err != nil {
+			s.closeSink()
+			return nil, err
+		}
+		s.eng = slo.New(sc, s.log)
+		s.log.Observe(s.eng.ObserveEvent)
+	}
+	if cfg.Serve != "" {
+		s.srv = serve.New(nil, s.log, s.eng)
+		addr, err := s.srv.Start(cfg.Serve)
+		if err != nil {
+			s.closeSink()
+			return nil, err
+		}
+		s.addr = addr
+	}
+	return s, nil
+}
+
+// Enabled reports whether any telemetry is live.
+func (s *Session) Enabled() bool { return s != nil }
+
+// Log returns the session's event log (nil when telemetry is off).
+func (s *Session) Log() *obs.EventLog {
+	if s == nil {
+		return nil
+	}
+	return s.log
+}
+
+// Engine returns the SLO engine (nil without an -slo config).
+func (s *Session) Engine() *slo.Engine {
+	if s == nil {
+		return nil
+	}
+	return s.eng
+}
+
+// Addr returns the HTTP server's bound address (empty without -serve).
+func (s *Session) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.addr
+}
+
+// Attach wires a run's recorder into the session: events flow into the
+// log and the HTTP handlers read this recorder's registry. Call once
+// per recorder, before its run starts.
+func (s *Session) Attach(rec *obs.Recorder) {
+	if s == nil {
+		return
+	}
+	rec.SetEventLog(s.log)
+	if s.srv != nil {
+		s.srv.SetSources(rec, s.log, s.eng)
+	}
+}
+
+// StartRun emits a run marker: virtual time restarts at zero, so SLO
+// windows reset (cumulative breach counts persist).
+func (s *Session) StartRun(label string) {
+	if s == nil {
+		return
+	}
+	s.log.StartRun(label)
+}
+
+// Scrape fetches this session's own /metrics exposition.
+func (s *Session) Scrape() ([]byte, error) {
+	if s == nil || s.addr == "" {
+		return nil, fmt.Errorf("telemetry: no -serve address to scrape")
+	}
+	resp, err := http.Get("http://" + s.addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("telemetry: scrape returned %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// ScrapeTo writes a /metrics scrape to path.
+func (s *Session) ScrapeTo(path string) error {
+	b, err := s.Scrape()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Summary is the one-line end-of-run telemetry summary the drivers
+// print: SLO pass/fail with the worst burn rate, plus the session's
+// repair/fallback/fault tallies.
+func (s *Session) Summary() string {
+	if s == nil {
+		return ""
+	}
+	counts := s.log.Counts()
+	base := fmt.Sprintf("repairs=%d fallbacks=%d faults=%d events=%d",
+		counts[obs.EventRepair], counts[obs.EventFallback], counts[obs.EventFault], s.log.Total())
+	if s.eng != nil {
+		return "telemetry: " + s.eng.Summary() + "; " + base
+	}
+	return "telemetry: " + base
+}
+
+func (s *Session) closeSink() error {
+	var err error
+	if s.bw != nil {
+		err = s.bw.Flush()
+	}
+	if s.file != nil {
+		if cerr := s.file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.bw, s.file = nil, nil
+	return err
+}
+
+// Close flushes the JSONL sink and stops the HTTP server, returning the
+// first error the sink ever hit so a silently failing event stream
+// cannot masquerade as a healthy run.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.log.SinkErr()
+	if ferr := s.closeSink(); err == nil {
+		err = ferr
+	}
+	if s.srv != nil {
+		if serr := s.srv.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
