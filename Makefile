@@ -1,6 +1,6 @@
 # Convenience targets; the repo needs only the Go toolchain.
 
-.PHONY: build test verify verify-parallel trace-demo telemetry-demo bench benchdiff chaos chaos-race clean
+.PHONY: build test lint verify verify-parallel trace-demo telemetry-demo errmap-demo bench benchdiff chaos chaos-race clean
 
 build:
 	go build ./...
@@ -17,13 +17,27 @@ test:
 verify:
 	go build ./...
 	go test ./...
-	go vet ./...
+	$(MAKE) lint
 	go test -race ./...
 	go test -run TestParallelEquivalenceSmoke ./internal/exchange/
 	go run ./cmd/chaos -seeds 8
 	go run ./cmd/chaos -seeds 8 -parallel
 	go run -race ./cmd/chaos -seeds 8
 	$(MAKE) telemetry-demo
+	$(MAKE) errmap-demo
+
+# lint: formatting and static analysis. gofmt must report nothing,
+# go vet must be clean, and staticcheck runs when installed (the repo
+# must not require it — CI images without it still get the vet tier).
+lint:
+	@out=$$(gofmt -l . 2>/dev/null); if [ -n "$$out" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; fi
+	go vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; go vet only"; \
+	fi
 
 # verify-parallel re-runs the tier-1 tests with NETSIM_PARALLEL=1, which
 # forces every netsim run in the tree onto the parallel engine — the
@@ -80,6 +94,24 @@ telemetry-demo:
 	! go run ./cmd/obswatch -replay $(TMP)/events.jsonl -slo docs/slo.example.json
 	rm -rf $(TMP)
 	@echo "telemetry-demo: scrape linted, stream replayed, breaches reproduced"
+
+# errmap-demo runs a small lossy bench with the event log and the
+# error-provenance artifact on, then renders the attribution ledger from
+# both sources — the JSONL replay and the -errtrack artifact — and
+# asserts they derive the identical errtrack verdict (the live/replay
+# parity contract of docs/OBSERVABILITY.md). Part of `make verify`.
+errmap-demo:
+	$(eval TMP := $(shell mktemp -d))
+	go run ./cmd/fftbench -n 32 -sim 64 -gpus 12 -configs fp64-32,fp64-16 -iters 1 \
+		-eventlog $(TMP)/events.jsonl -errtrack $(TMP)/errtrack.json > /dev/null
+	go run ./cmd/errmap -replay $(TMP)/events.jsonl > $(TMP)/replay.txt
+	go run ./cmd/errmap -artifact $(TMP)/errtrack.json > $(TMP)/artifact.txt
+	grep '^errtrack ' $(TMP)/replay.txt
+	grep '^errtrack ' $(TMP)/replay.txt > $(TMP)/v-replay.txt
+	grep '^errtrack ' $(TMP)/artifact.txt > $(TMP)/v-artifact.txt
+	cmp $(TMP)/v-replay.txt $(TMP)/v-artifact.txt
+	rm -rf $(TMP)
+	@echo "errmap-demo: replay and artifact derive identical verdicts"
 
 # The committed bench baselines. Small deterministic configurations —
 # all times are virtual, so the artifacts are bit-identical across

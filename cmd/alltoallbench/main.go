@@ -43,7 +43,13 @@ func main() {
 	tf := telemetry.RegisterFlags(nil)
 	flag.Parse()
 
-	tel, err := tf.Start()
+	// -json artifacts embed the per-stage error-attribution ledger, so
+	// force the error tracker on for artifact runs even without -errtrack.
+	telCfg := tf.Config()
+	if *jsonFlag != "" {
+		telCfg.Tracker = true
+	}
+	tel, err := telemetry.Start(telCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "alltoallbench:", err)
 		os.Exit(1)
@@ -96,7 +102,8 @@ func main() {
 		labels = append(labels, fmt.Sprint(g))
 		for i, a := range algos {
 			rec := obs.New(obs.Options{Trace: recording, Metrics: true})
-			tel.StartRun(fmt.Sprintf("%s/%dgpus", a, g))
+			cell := fmt.Sprintf("%s/%dgpus", a, g)
+			tel.StartRun(cell)
 			tel.Attach(rec)
 			machine := netsim.Summit(g / 6)
 			machine.Parallel = *parallelFlag
@@ -114,6 +121,7 @@ func main() {
 					Name: a, GPUs: g, NodeBW: bw,
 					Compression: analyze.CompressionRows(rec.Metrics().CompressionStats()),
 					Faults:      analyze.FaultRowFrom(rec.Metrics()),
+					Errors:      analyze.ErrorRows(tel.Tracker(), cell),
 				}
 				s := analyze.Summarize(analyze.FromRecorder(rec), 0)
 				row.Analysis = &s

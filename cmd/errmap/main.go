@@ -1,0 +1,260 @@
+// Command errmap renders the numerical-error provenance ledger: where
+// the compression error of a run came from (which reshape stage, which
+// (rank, peer) pair), how the measured error composed across the
+// pipeline against the theoretical bound composition, and how the error
+// budget burned over virtual time.
+//
+// Usage:
+//
+//	errmap -addr 127.0.0.1:9090        # scrape a live -serve endpoint's /errtrack
+//	errmap -replay events.jsonl        # rebuild the ledger from a recorded event log
+//	errmap -artifact errtrack.json     # render a saved -errtrack report
+//
+// All three modes render the same errtrack.Report and print the same
+// verdict line: the live scrape serves the tracker's snapshot, and the
+// replay feeds the recorded stream through the identical observer code,
+// so a live run and its offline replay cannot disagree. The exit status
+// is non-zero when any stage exceeded its error budget.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs/errtrack"
+)
+
+func main() {
+	addr := flag.String("addr", "", "scrape the /errtrack endpoint of a live -serve address (host:port)")
+	replay := flag.String("replay", "", "rebuild the ledger from a recorded JSONL event log")
+	artifact := flag.String("artifact", "", "render a saved -errtrack report file")
+	pairsFlag := flag.Int("pairs", 10, "worst (rank, peer) pairs to list per stage (0 disables)")
+	flag.Parse()
+
+	var rep errtrack.Report
+	var err error
+	switch {
+	case *addr != "":
+		rep, err = scrape(*addr)
+	case *replay != "":
+		var trk *errtrack.Tracker
+		var bad int64
+		trk, bad, err = errtrack.ReplayFile(*replay)
+		if err == nil {
+			rep = trk.Snapshot()
+			if bad > 0 {
+				fmt.Printf("# %d malformed lines skipped (run obswatch -replay for integrity checks)\n", bad)
+			}
+		}
+	case *artifact != "":
+		rep, err = errtrack.LoadReport(*artifact)
+	default:
+		fmt.Fprintln(os.Stderr, "errmap: one of -addr, -replay, -artifact is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "errmap:", err)
+		os.Exit(1)
+	}
+
+	render(os.Stdout, rep, *pairsFlag)
+	if len(rep.OverBudget()) > 0 {
+		os.Exit(1)
+	}
+}
+
+// scrape fetches a live run's /errtrack report.
+func scrape(addr string) (errtrack.Report, error) {
+	var rep errtrack.Report
+	resp, err := http.Get("http://" + addr + "/errtrack")
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("/errtrack: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, err
+	}
+	if rep.Schema != errtrack.ReportSchema {
+		return rep, fmt.Errorf("/errtrack: schema %d, want %d", rep.Schema, errtrack.ReportSchema)
+	}
+	return rep, nil
+}
+
+func render(w *os.File, rep errtrack.Report, pairs int) {
+	if len(rep.Cells) == 0 {
+		fmt.Fprintln(w, "no error-attribution data (run with -eventlog/-errtrack and a lossy configuration)")
+	}
+	for _, c := range rep.Cells {
+		if len(c.Stages) == 0 {
+			continue // lossless cell: nothing to attribute
+		}
+		fmt.Fprintf(w, "== %s\n", c.Cell)
+		led := errtrack.BuildLedger(c, nil)
+		renderLedger(w, led)
+		for _, s := range c.Stages {
+			renderMatrix(w, s, pairs)
+		}
+		renderBurn(w, c)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, rep.Verdict())
+}
+
+// renderLedger prints the error-accumulation table: per stage, the
+// measured worst relative error and its composition so far against the
+// bound composition prod(1+b_i)−1.
+func renderLedger(w *os.File, led errtrack.Ledger) {
+	fmt.Fprintf(w, "  %-12s %10s %12s %12s %12s %12s %7s %6s\n",
+		"stage", "values", "measured", "bound", "cum meas", "cum bound", "share", "ok")
+	for _, r := range led.Rows {
+		ok := "ok"
+		if !r.OK {
+			ok = "OVER"
+		}
+		fmt.Fprintf(w, "  %-12s %10d %12.3e %12.3e %12.3e %12.3e %6.1f%% %6s\n",
+			r.Label, r.Values, r.Measured, r.Bound, r.MeasuredCum, r.BoundCum, 100*r.Share, ok)
+	}
+}
+
+// renderMatrix prints one stage's (rank, peer) attribution: the worst
+// pairs, and — when the rank space is small enough to read — an ASCII
+// heat matrix of max relative error scaled by the stage bound.
+func renderMatrix(w *os.File, s errtrack.StageReport, pairs int) {
+	if len(s.Pairs) == 0 || pairs <= 0 {
+		return
+	}
+	worst := append([]errtrack.PairStat(nil), s.Pairs...)
+	sort.Slice(worst, func(i, j int) bool {
+		if worst[i].MaxRel != worst[j].MaxRel {
+			return worst[i].MaxRel > worst[j].MaxRel
+		}
+		if worst[i].Rank != worst[j].Rank {
+			return worst[i].Rank < worst[j].Rank
+		}
+		return worst[i].Peer < worst[j].Peer
+	})
+	if len(worst) > pairs {
+		worst = worst[:pairs]
+	}
+	fmt.Fprintf(w, "  %s worst pairs (of %d", s.Label, len(s.Pairs))
+	if s.DroppedPairs > 0 {
+		fmt.Fprintf(w, ", %d not retained", s.DroppedPairs)
+	}
+	fmt.Fprintln(w, "):")
+	fmt.Fprintf(w, "    %6s %6s %10s %12s %12s\n", "rank", "peer", "n", "max_rel", "rms")
+	for _, p := range worst {
+		fmt.Fprintf(w, "    %6d %6d %10d %12.3e %12.3e\n", p.Rank, p.Peer, p.N, p.MaxRel, p.RMS)
+	}
+	heatMatrix(w, s)
+}
+
+// heatMatrix draws rank (rows) × peer (columns) as one shade character
+// per pair: '.' for near-zero error up to '@' at (or beyond) the stage
+// bound. Skipped when the rank space would not fit a terminal.
+const heatRamp = ".:-=+*#%@"
+
+func heatMatrix(w *os.File, s errtrack.StageReport) {
+	maxID := 0
+	for _, p := range s.Pairs {
+		if p.Rank > maxID {
+			maxID = p.Rank
+		}
+		if p.Peer > maxID {
+			maxID = p.Peer
+		}
+	}
+	if maxID >= 48 || len(s.Pairs) == 0 {
+		return
+	}
+	scale := s.Bound
+	if scale <= 0 {
+		scale = s.WorstRel
+	}
+	if scale <= 0 {
+		return
+	}
+	grid := make([][]byte, maxID+1)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", maxID+1))
+	}
+	for _, p := range s.Pairs {
+		idx := int(p.MaxRel / scale * float64(len(heatRamp)-1))
+		if idx >= len(heatRamp) {
+			idx = len(heatRamp) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		grid[p.Rank][p.Peer] = heatRamp[idx]
+	}
+	fmt.Fprintf(w, "    %s rank×peer heat ('%c'≈0 … '%c'=bound %.2e):\n",
+		s.Label, heatRamp[0], heatRamp[len(heatRamp)-1], scale)
+	for rank, row := range grid {
+		fmt.Fprintf(w, "    %4d |%s|\n", rank, row)
+	}
+}
+
+// renderBurn draws each stage's budget burn over virtual time: the time
+// span bucketed into fixed columns, each column shaded by its worst
+// relative error against the stage bound.
+func renderBurn(w *os.File, c errtrack.CellReport) {
+	const cols = 60
+	for _, s := range c.Stages {
+		if len(s.Series) < 2 {
+			continue
+		}
+		tMin, tMax := s.Series[0].T, s.Series[0].T
+		for _, p := range s.Series[1:] {
+			if p.T < tMin {
+				tMin = p.T
+			}
+			if p.T > tMax {
+				tMax = p.T
+			}
+		}
+		if tMax <= tMin {
+			continue
+		}
+		scale := s.Bound
+		if scale <= 0 {
+			scale = s.WorstRel
+		}
+		if scale <= 0 {
+			continue
+		}
+		buckets := make([]float64, cols)
+		for _, p := range s.Series {
+			i := int((p.T - tMin) / (tMax - tMin) * float64(cols-1))
+			if p.MaxRel > buckets[i] {
+				buckets[i] = p.MaxRel
+			}
+		}
+		line := make([]byte, cols)
+		for i, v := range buckets {
+			if v == 0 {
+				line[i] = ' '
+				continue
+			}
+			idx := int(v / scale * float64(len(heatRamp)-1))
+			if idx >= len(heatRamp) {
+				idx = len(heatRamp) - 1
+			}
+			line[i] = heatRamp[idx]
+		}
+		trunc := ""
+		if s.SeriesTotal > int64(len(s.Series)) {
+			trunc = fmt.Sprintf(" (%d of %d samples retained)", len(s.Series), s.SeriesTotal)
+		}
+		fmt.Fprintf(w, "  %s burn %.3gs..%.3gs |%s| worst %.2e of %.2e, drift %.2f%s\n",
+			s.Label, tMin, tMax, line, s.WorstRel, scale, s.Drift, trunc)
+	}
+}

@@ -123,7 +123,13 @@ func main() {
 	tf := telemetry.RegisterFlags(nil)
 	flag.Parse()
 
-	tel, err := tf.Start()
+	// -json artifacts embed the per-stage error-attribution ledger, so
+	// force the error tracker on for artifact runs even without -errtrack.
+	telCfg := tf.Config()
+	if *jsonFlag != "" {
+		telCfg.Tracker = true
+	}
+	tel, err := telemetry.Start(telCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fftbench:", err)
 		os.Exit(1)
@@ -194,7 +200,8 @@ func main() {
 		gflops := make([]float64, len(configs))
 		for i, c := range configs {
 			rec := obs.New(obs.Options{Trace: recording, Metrics: true})
-			tel.StartRun(fmt.Sprintf("%s/%dgpus", c.name, g))
+			cell := fmt.Sprintf("%s/%dgpus", c.name, g)
+			tel.StartRun(cell)
 			tel.Attach(rec)
 			res := c.run(rec, machine, n, *iters, simScale)
 			gflops[i] = res.Gflops
@@ -208,6 +215,7 @@ func main() {
 					Compression: analyze.CompressionRows(rec.Metrics().CompressionStats()),
 					Model:       modelDeltas(rec, machine, n, c, simScale),
 					Faults:      analyze.FaultRowFrom(rec.Metrics()),
+					Errors:      analyze.ErrorRows(tel.Tracker(), cell),
 				}
 				s := analyze.Summarize(analyze.FromRecorder(rec), 0)
 				row.Analysis = &s

@@ -14,8 +14,11 @@
 // line, one row per objective, and the headline fault/heal counters.
 // -lint parses a scraped exposition with the same strict parser the
 // tests use and fails loudly on format violations. -replay feeds a
-// recorded event stream through a fresh SLO engine, reproducing the
-// breach verdicts the live run saw.
+// recorded event stream through a fresh SLO engine and error tracker,
+// reproducing the breach and errtrack verdicts the live run saw; it
+// also verifies stream integrity (sequence numbers contiguous from 1,
+// the run_end marker present and last, no malformed or cut lines) and
+// exits non-zero with a diagnostic when the stream was truncated.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/errtrack"
 	"repro/internal/obs/serve"
 	"repro/internal/obs/slo"
 )
@@ -96,9 +100,13 @@ func familyOf(name string) string {
 }
 
 // runReplay feeds a recorded JSONL event stream through a fresh SLO
-// engine (when a config is given) and prints the stream's shape and the
-// resulting verdicts — the offline reproduction of what the live run's
-// /slo endpoint reported.
+// engine (when a config is given) and error tracker, printing the
+// stream's shape and the resulting verdicts — the offline reproduction
+// of what the live run's /slo and /errtrack endpoints reported. It also
+// checks the stream's integrity: every event carries a sequence number
+// stamped at emit time and Session.Close appends a run_end marker, so a
+// truncated, partially flushed, or lossy copy of the log is detectable
+// rather than silently replaying as a shorter healthy run.
 func runReplay(path, sloPath string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -117,41 +125,77 @@ func runReplay(path, sloPath string) error {
 		}
 		eng = slo.New(cfg, log)
 	}
+	trk := errtrack.New()
 
 	counts := map[string]int64{}
 	var total, bad int64
 	var runs int
 	var tMax float64
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	// Integrity state: seqs is set once any event carries a sequence
+	// number (streams recorded before sequencing replay without the
+	// checks); expect is the next sequence number a gapless stream emits.
+	var integrity []string
+	var seqs bool
+	var expect, gaps int64 = 1, 0
+	var firstGap string
+	var last obs.Event
+	rd := bufio.NewReaderSize(f, 1<<20)
+	for {
+		line, rerr := rd.ReadString('\n')
+		if rerr != nil && rerr != io.EOF {
+			return rerr
 		}
-		var ev obs.Event
-		if err := json.Unmarshal([]byte(line), &ev); err != nil {
-			bad++
-			continue
+		if s := strings.TrimSpace(line); s != "" {
+			if !strings.HasSuffix(line, "\n") {
+				integrity = append(integrity, "last line has no trailing newline (write was cut mid-record)")
+			}
+			var ev obs.Event
+			if err := json.Unmarshal([]byte(s), &ev); err != nil {
+				bad++
+			} else {
+				total++
+				counts[ev.Kind]++
+				if ev.Kind == obs.EventRun {
+					runs++
+				}
+				if ev.T > tMax {
+					tMax = ev.T
+				}
+				if ev.Seq > 0 {
+					seqs = true
+					if ev.Seq != expect {
+						gaps++
+						if firstGap == "" {
+							firstGap = fmt.Sprintf("event %d follows %d", ev.Seq, expect-1)
+						}
+					}
+					expect = ev.Seq + 1
+				}
+				last = ev
+				eng.ObserveEvent(ev)
+				trk.Observe(ev)
+			}
 		}
-		total++
-		counts[ev.Kind]++
-		if ev.Kind == obs.EventRun {
-			runs++
+		if rerr == io.EOF {
+			break
 		}
-		if ev.T > tMax {
-			tMax = ev.T
-		}
-		eng.ObserveEvent(ev)
 	}
-	if err := sc.Err(); err != nil {
-		return err
+	if bad > 0 {
+		integrity = append(integrity, fmt.Sprintf("%d malformed lines", bad))
+	}
+	if gaps > 0 {
+		integrity = append(integrity, fmt.Sprintf("%d sequence gaps (first: %s) — events were lost", gaps, firstGap))
+	}
+	if seqs {
+		switch {
+		case last.Kind != obs.EventEnd:
+			integrity = append(integrity, "stream ends without a run_end marker — the run was cut before Close")
+		case last.Value != float64(last.Seq):
+			integrity = append(integrity, fmt.Sprintf("run_end marker claims %g events but the stream ends at %d", last.Value, last.Seq))
+		}
 	}
 
 	fmt.Printf("replay %s: %d events, %d runs, virtual span %.3gs\n", path, total, runs, tMax)
-	if bad > 0 {
-		fmt.Printf("  %d malformed lines skipped\n", bad)
-	}
 	kinds := make([]string, 0, len(counts))
 	for k := range counts {
 		kinds = append(kinds, k)
@@ -160,12 +204,28 @@ func runReplay(path, sloPath string) error {
 	for _, k := range kinds {
 		fmt.Printf("  %-16s %d\n", k, counts[k])
 	}
+	var failures []string
+	if len(integrity) > 0 {
+		for _, msg := range integrity {
+			fmt.Printf("  INTEGRITY: %s\n", msg)
+		}
+		failures = append(failures, fmt.Sprintf("stream integrity: %s", strings.Join(integrity, "; ")))
+	}
+	if rep := trk.Snapshot(); len(rep.Cells) > 0 {
+		fmt.Println(rep.Verdict())
+		if over := rep.OverBudget(); len(over) > 0 {
+			failures = append(failures, fmt.Sprintf("%d stages over error budget", len(over)))
+		}
+	}
 	if eng != nil {
 		fmt.Println(eng.Summary())
 		printObjectives(eng.Status())
-		if eng.TotalBreaches() > 0 {
-			return fmt.Errorf("replay detected %d SLO breaches", eng.TotalBreaches())
+		if n := eng.TotalBreaches(); n > 0 {
+			failures = append(failures, fmt.Sprintf("%d SLO breaches", n))
 		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("replay detected %s", strings.Join(failures, "; "))
 	}
 	return nil
 }

@@ -1,15 +1,25 @@
 // Command precisions prints Table I of the paper: the parameters of the
 // BFloat16/FP16/FP32/FP64 arithmetics and their peak rates on the GPUs
 // the paper considers, as encoded in internal/precision.
+//
+// -errtrack writes the table as an error-provenance report: one stage
+// per format carrying its unit roundoff as the theoretical bound, with
+// no measurements — the bounds-only counterpart of the measured reports
+// the simulating drivers emit, renderable by the same cmd/errmap.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/obs/errtrack"
 	"repro/internal/precision"
 )
 
 func main() {
+	errtrackFlag := flag.String("errtrack", "", "write the theoretical-bounds-only error-provenance report to this JSON file")
+	flag.Parse()
 	fmt.Println("# Table I — floating-point arithmetic parameters")
 	fmt.Printf("%-10s%6s%14s%12s%12s%14s%10s%10s\n",
 		"Format", "Bits", "Xmin,s", "Xmin", "Xmax", "UnitRoundoff", "V100", "MI100")
@@ -20,5 +30,19 @@ func main() {
 		}
 		fmt.Printf("%-10s%6d%14.1e%12.1e%12.1e%14.1e%10s%10.1f\n",
 			f.Name, f.Bits, f.XminSubnorm, f.XminNormal, f.Xmax, f.UnitRoundoff, v100, f.PeakMI100)
+	}
+	if *errtrackFlag != "" {
+		cell := errtrack.CellReport{Cell: "table1"}
+		for _, f := range precision.Formats {
+			cell.Stages = append(cell.Stages, errtrack.StageReport{
+				Label: f.Name, Bound: f.UnitRoundoff,
+			})
+		}
+		rep := errtrack.Report{Cells: []errtrack.CellReport{cell}}
+		if err := rep.WriteFile(*errtrackFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "precisions:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# error-provenance report written: %s (theoretical bounds only)\n", *errtrackFlag)
 	}
 }

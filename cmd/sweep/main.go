@@ -8,7 +8,9 @@
 // full 12…1536-GPU sweeps. -metrics passes -metrics to every driver
 // that supports it, so each output file ends with the phase/metrics
 // report of its last cell; -trace DIR collects one Chrome-trace JSON
-// per job (<dir>/<job>.trace.json), ready for cmd/tracetool.
+// per job (<dir>/<job>.trace.json), ready for cmd/tracetool; -errtrack
+// DIR collects one error-provenance report per job
+// (<dir>/<job>.errtrack.json), ready for cmd/errmap -artifact.
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	quick := flag.Bool("quick", false, "small, fast configuration")
 	traceDir := flag.String("trace", "", "collect per-job Chrome traces into this directory")
+	errtrackDir := flag.String("errtrack", "", "collect per-job error-provenance reports into this directory")
 	metrics := flag.Bool("metrics", false, "append each driver's metrics report to its output file")
 	flag.Parse()
 
@@ -39,8 +42,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
-	if *traceDir != "" {
-		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+	for _, dir := range []string{*traceDir, *errtrackDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
 		}
@@ -69,15 +75,21 @@ func main() {
 	}
 	for _, j := range jobs {
 		args := j.args
+		name := strings.TrimSuffix(j.file, filepath.Ext(j.file))
 		if j.observable {
 			if *metrics {
 				args = append(append([]string(nil), args...), "-metrics")
 			}
 			if *traceDir != "" {
-				name := strings.TrimSuffix(j.file, filepath.Ext(j.file))
 				args = append(append([]string(nil), args...),
 					"-trace", filepath.Join(*traceDir, name+".trace.json"))
 			}
+		}
+		// Every driver accepts -errtrack (precisions writes the
+		// theoretical-bounds-only report), so no observable gate here.
+		if *errtrackDir != "" {
+			args = append(append([]string(nil), args...),
+				"-errtrack", filepath.Join(*errtrackDir, name+".errtrack.json"))
 		}
 		start := time.Now()
 		fmt.Printf("sweep: %-12s ... ", j.file)

@@ -55,6 +55,12 @@ func (b Block) ErrorBound() float64 {
 	return 32 * math.Ldexp(1, -int(b.Bits))
 }
 
+// MinNormal implements Method. The shared exponent clamps to an
+// FP32-like biased range; note the bound above is relative to the
+// block's largest magnitude, so per-value relative error on mixed-scale
+// blocks can exceed it even above this threshold.
+func (b Block) MinNormal() float64 { return 0x1p-126 }
+
 // Compress implements Method.
 func (b Block) Compress(dst []byte, src []float64) int {
 	w := bitWriter{buf: dst}

@@ -42,6 +42,13 @@ type Method interface {
 	// ErrorBound returns the worst-case relative error introduced per
 	// value (0 for lossless), assuming values within the method's range.
 	ErrorBound() float64
+	// MinNormal returns the smallest positive magnitude the method
+	// represents with full relative accuracy: the bottom of the target
+	// format's normal range, in input units. Smaller originals underflow
+	// to subnormals or zero, where only absolute accuracy is available,
+	// so error measurements score them by absolute rather than relative
+	// error. Lossless methods return 0.
+	MinNormal() float64
 }
 
 // None is the identity method: a plain little-endian float64 copy.
@@ -58,6 +65,9 @@ func (None) MaxCompressedLen(n int) int { return 8 * n }
 
 // ErrorBound implements Method.
 func (None) ErrorBound() float64 { return 0 }
+
+// MinNormal implements Method.
+func (None) MinNormal() float64 { return 0 }
 
 // Compress implements Method.
 func (None) Compress(dst []byte, src []float64) int {
@@ -89,6 +99,9 @@ func (Cast32) MaxCompressedLen(n int) int { return 4 * n }
 
 // ErrorBound implements Method.
 func (Cast32) ErrorBound() float64 { return 6.0e-8 }
+
+// MinNormal implements Method.
+func (Cast32) MinNormal() float64 { return 0x1p-126 } // FP32 Xmin
 
 // Compress implements Method.
 func (Cast32) Compress(dst []byte, src []float64) int {
@@ -123,6 +136,9 @@ func (Cast16) MaxCompressedLen(n int) int { return 2 * n }
 // ErrorBound implements Method.
 func (Cast16) ErrorBound() float64 { return 4.9e-4 }
 
+// MinNormal implements Method.
+func (Cast16) MinNormal() float64 { return 0x1p-14 } // FP16 Xmin
+
 // Compress implements Method.
 func (Cast16) Compress(dst []byte, src []float64) int {
 	for i, v := range src {
@@ -154,6 +170,9 @@ func (CastBF16) MaxCompressedLen(n int) int { return 2 * n }
 
 // ErrorBound implements Method.
 func (CastBF16) ErrorBound() float64 { return 3.9e-3 }
+
+// MinNormal implements Method.
+func (CastBF16) MinNormal() float64 { return 0x1p-126 } // BF16 shares the FP32 exponent range
 
 // Compress implements Method.
 func (CastBF16) Compress(dst []byte, src []float64) int {
@@ -195,6 +214,9 @@ func (t Trim) MaxCompressedLen(n int) int {
 
 // ErrorBound implements Method.
 func (t Trim) ErrorBound() float64 { return precision.TrimUnitRoundoff(t.M) }
+
+// MinNormal implements Method: trimming keeps the full FP64 exponent.
+func (t Trim) MinNormal() float64 { return 0x1p-1022 }
 
 // Compress implements Method.
 func (t Trim) Compress(dst []byte, src []float64) int {

@@ -26,6 +26,9 @@ func (Lossless) Ratio() float64 { return 1 }
 // ErrorBound implements Method.
 func (Lossless) ErrorBound() float64 { return 0 }
 
+// MinNormal implements Method.
+func (Lossless) MinNormal() float64 { return 0 }
+
 // minRun is the shortest zero run worth a dedicated token; shorter zero
 // stretches stay inside literals so token overhead can never blow up the
 // stream on zero-sparse data.

@@ -27,6 +27,12 @@ func (s Scaled) MaxCompressedLen(n int) int { return 8 + s.Inner.MaxCompressedLe
 // ErrorBound implements Method.
 func (s Scaled) ErrorBound() float64 { return s.Inner.ErrorBound() }
 
+// MinNormal implements Method. The per-message scale shifts the inner
+// format's range onto the data, so in input units the true threshold is
+// Inner.MinNormal()/scale; without the (per-message) scale this is the
+// conservative static answer.
+func (s Scaled) MinNormal() float64 { return s.Inner.MinNormal() }
+
 // Compress implements Method.
 func (s Scaled) Compress(dst []byte, src []float64) int {
 	maxAbs := 0.0

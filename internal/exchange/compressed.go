@@ -8,6 +8,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/errtrack"
 )
 
 // CountFn gives the number of float64 values rank dst receives from rank
@@ -49,6 +50,7 @@ type CompressedOSC struct {
 
 	// Precomputed metric names of this exchange's label (SetLabel).
 	metricRaw, metricWire, metricErr, metricOverlap, metricAchieved string
+	metricTrkMaxRel, metricTrkRMS, metricTrkVals                    string
 	label                                                           string
 	// errScratch holds decompressed values while measuring the achieved
 	// error; allocated lazily and only when an event log is attached.
@@ -146,6 +148,7 @@ func (x *CompressedOSC) SetLabel(label string) {
 	x.metricRaw, x.metricWire, x.metricErr = obs.CompressMetricNames(label)
 	x.metricOverlap = "exchange/" + label + "/overlap_efficiency"
 	x.metricAchieved = "compress/" + label + "/achieved_error"
+	x.metricTrkMaxRel, x.metricTrkRMS, x.metricTrkVals = obs.ErrtrackMetricNames(label)
 }
 
 // recvSizesBytes maps value counts to window slot sizes.
@@ -279,11 +282,15 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 			rawBytes += 8 * int64(simCounts(dst, me))
 			wireBytes += int64(logical)
 			if measure {
-				if e, ok := x.slotError(slot[:4+clen], send[dst]); ok {
+				if st, ok := slotStats(x.method, &x.errScratch, slot[:4+clen], send[dst]); ok {
 					measured = true
-					if e > worstErr {
-						worstErr = e
+					if st.MaxRel > worstErr {
+						worstErr = st.MaxRel
 					}
+					rk.Observe(x.metricTrkMaxRel, st.MaxRel)
+					rk.Observe(x.metricTrkRMS, st.RMS())
+					rk.Add(x.metricTrkVals, st.N)
+					rk.Emit(errtrack.AttrEvent(x.c.Now(), x.label, dst, x.method.ErrorBound(), st))
 				}
 			}
 			x.win.PutLogical(dst, x.sendOff[dst], slot[:4+clen], logical)
@@ -361,39 +368,57 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 	return x.out
 }
 
-// slotError round-trips one locally compressed slot and returns the
-// worst relative error against the original values (absolute where the
-// original is zero) — the per-epoch achieved error the telemetry layer
-// compares with the method's configured bound.
-func (x *CompressedOSC) slotError(slot []byte, vals []float64) (float64, bool) {
+// minNormal64 is the smallest positive normal float64. Relative error
+// against a subnormal denominator explodes without carrying information,
+// so such values (and exact zeros) are scored by absolute error instead.
+const minNormal64 = 2.2250738585072014e-308
+
+// slotStats round-trips one locally compressed slot and returns the
+// block-level error statistics against the original values: the worst
+// relative error, the worst absolute error, and the squared-error sum —
+// the per-peer attribution the errtrack layer aggregates. Originals
+// below the method's MinNormal (or FP64's, whichever is larger) are
+// scored by absolute error: the method's relative bound only covers its
+// normal range, and a relative error against a subnormal or underflowed
+// denominator explodes without carrying information. scratch is the
+// caller's reusable decode buffer.
+func slotStats(m compress.Method, scratch *[]float64, slot []byte, vals []float64) (errtrack.Stat, bool) {
 	if len(vals) == 0 {
-		return 0, false
+		return errtrack.Stat{}, false
 	}
-	if cap(x.errScratch) < len(vals) {
-		x.errScratch = make([]float64, len(vals))
+	if cap(*scratch) < len(vals) {
+		*scratch = make([]float64, len(vals))
 	}
-	dst := x.errScratch[:len(vals)]
-	if err := decodeSlot(x.method, dst, slot); err != nil {
-		return 0, false // unreachable for a slot we just produced
+	dst := (*scratch)[:len(vals)]
+	if err := decodeSlot(m, dst, slot); err != nil {
+		return errtrack.Stat{}, false // unreachable for a slot we just produced
 	}
-	worst := 0.0
+	relFloor := m.MinNormal()
+	if relFloor < minNormal64 {
+		relFloor = minNormal64
+	}
+	st := errtrack.Stat{N: int64(len(vals))}
 	for i, v := range vals {
 		d := dst[i] - v
 		if d < 0 {
 			d = -d
 		}
-		if v != 0 {
-			av := v
-			if av < 0 {
-				av = -av
-			}
-			d /= av
+		if d > st.MaxAbs {
+			st.MaxAbs = d
 		}
-		if d > worst {
-			worst = d
+		st.SumSq += d * d
+		av := v
+		if av < 0 {
+			av = -av
+		}
+		if av < relFloor {
+			continue // below the method's normal range: absolute only
+		}
+		if d /= av; d > st.MaxRel {
+			st.MaxRel = d
 		}
 	}
-	return worst, true
+	return st, true
 }
 
 // decodeSlot validates and decodes one window slot (4-byte compressed

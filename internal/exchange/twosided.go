@@ -7,6 +7,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/errtrack"
 )
 
 // TwoSidedCompressed applies the same lossy compression as CompressedOSC
@@ -23,7 +24,12 @@ type TwoSidedCompressed struct {
 	SimCounts CountFn
 
 	// Precomputed metric names of this exchange's label (SetLabel).
-	metricRaw, metricWire, metricErr string
+	metricRaw, metricWire, metricErr, metricAchieved string
+	metricTrkMaxRel, metricTrkRMS, metricTrkVals     string
+	label                                            string
+	// errScratch holds decompressed values while measuring the achieved
+	// error; allocated lazily and only when an event log is attached.
+	errScratch []float64
 
 	recvCounts  []int
 	recvNonzero []bool
@@ -64,7 +70,10 @@ func NewTwoSidedCompressed(c *mpi.Comm, method compress.Method, stream *gpu.Stre
 // SetLabel names this exchange in the metric registry (see
 // CompressedOSC.SetLabel).
 func (x *TwoSidedCompressed) SetLabel(label string) {
+	x.label = label
 	x.metricRaw, x.metricWire, x.metricErr = obs.CompressMetricNames(label)
+	x.metricAchieved = "compress/" + label + "/achieved_error"
+	x.metricTrkMaxRel, x.metricTrkRMS, x.metricTrkVals = obs.ErrtrackMetricNames(label)
 }
 
 // Exchange compresses send (counts(d, me) float64 values per rank d) on
@@ -134,6 +143,38 @@ func (x *TwoSidedCompressed) Exchange(send [][]float64) [][]float64 {
 	rk.Add(x.metricRaw, rawBytes)
 	rk.Add(x.metricWire, wireBytes)
 	rk.Set(x.metricErr, x.method.ErrorBound())
+
+	// With an event log attached, measure the error this epoch actually
+	// introduced by round-tripping each compressed payload on the host —
+	// the same per-peer attribution CompressedOSC reports, so ablations
+	// are comparable stage for stage. Wall-clock only, never virtual time.
+	if rk.EventsOn() {
+		worstErr, measured := 0.0, false
+		for d := 0; d < p; d++ {
+			if x.counts(d, me) == 0 {
+				continue
+			}
+			st, ok := slotStats(x.method, &x.errScratch, payload[d], send[d])
+			if !ok {
+				continue
+			}
+			measured = true
+			if st.MaxRel > worstErr {
+				worstErr = st.MaxRel
+			}
+			rk.Observe(x.metricTrkMaxRel, st.MaxRel)
+			rk.Observe(x.metricTrkRMS, st.RMS())
+			rk.Add(x.metricTrkVals, st.N)
+			rk.Emit(errtrack.AttrEvent(x.c.Now(), x.label, d, x.method.ErrorBound(), st))
+		}
+		if measured {
+			rk.Observe(x.metricAchieved, worstErr)
+			rk.Emit(obs.Event{
+				T: x.c.Now(), Kind: obs.EventError, Label: x.label, Peer: -1,
+				Value: worstErr, Bound: x.method.ErrorBound(),
+			})
+		}
+	}
 
 	recv := x.c.AlltoallvSparse(payload, x.recvNonzero, logical)
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/compress"
@@ -265,6 +266,73 @@ func TestDiffGate(t *testing.T) {
 	retried.Rows[2].Faults = &analyze.FaultRow{Drops: 3, Retries: 3}
 	if d := analyze.Diff(base, &retried, 0.10); d.Regressed() {
 		t.Errorf("retry-only row failed the gate: %+v", d)
+	}
+}
+
+// TestDiffErrorGate pins the errtrack columns of the bench gate: per-
+// stage worst errors are threshold-compared like any metric, baselines
+// without error rows skip the comparison (old artifacts stay usable),
+// and a bound violation or poisoned stage fails the gate with no
+// baseline at all.
+func TestDiffErrorGate(t *testing.T) {
+	stage := func(worst float64) []analyze.ErrorStageRow {
+		return []analyze.ErrorStageRow{{Label: "fwd0", Bound: 1e-3, WorstRel: worst, Values: 100}}
+	}
+	base := &analyze.Artifact{
+		Tool: "fftbench",
+		Rows: []analyze.Row{{Name: "fp64-16", GPUs: 12, Seconds: 0.01, Errors: stage(4e-4)}},
+	}
+
+	same := *base
+	if d := analyze.Diff(base, &same, 0.10); d.Regressed() {
+		t.Errorf("identical error rows regressed: %+v", d)
+	}
+
+	// Worst error growing past the threshold is a regression even while
+	// still inside the theoretical bound: the compressor got worse.
+	worse := *base
+	worse.Rows = append([]analyze.Row(nil), base.Rows...)
+	worse.Rows[0].Errors = stage(6e-4)
+	d := analyze.Diff(base, &worse, 0.10)
+	if !d.Regressed() || len(d.Regressions) != 1 || d.Regressions[0].Metric != "err/fwd0" {
+		t.Errorf("50%% error growth passed the gate: %+v", d)
+	}
+	if len(d.OverBudget) != 0 {
+		t.Errorf("in-bound growth flagged over budget: %v", d.OverBudget)
+	}
+
+	// A bound violation gates without any baseline comparison — the row
+	// is new, so threshold logic never sees it.
+	over := &analyze.Artifact{
+		Tool: "fftbench",
+		Rows: []analyze.Row{{Name: "new-cfg", GPUs: 24, Seconds: 0.01, Errors: stage(2e-3)}},
+	}
+	d = analyze.Diff(base, over, 0.10)
+	if !d.Regressed() || len(d.OverBudget) != 1 {
+		t.Fatalf("bound violation passed the gate: %+v", d)
+	}
+	var buf strings.Builder
+	d.WriteText(&buf)
+	if !strings.Contains(buf.String(), "OVERBUDGET") {
+		t.Errorf("WriteText lacks OVERBUDGET line:\n%s", buf.String())
+	}
+
+	// Poisoned samples gate too.
+	poisoned := *base
+	poisoned.Rows = append([]analyze.Row(nil), base.Rows...)
+	poisoned.Rows[0].Errors = []analyze.ErrorStageRow{{Label: "fwd0", Bound: 1e-3, WorstRel: 4e-4, Poisoned: 2}}
+	if d := analyze.Diff(base, &poisoned, 0.10); !d.Regressed() || len(d.OverBudget) != 1 {
+		t.Errorf("poisoned stage passed the gate: %+v", d)
+	}
+
+	// A baseline predating errtrack (no error rows) must not gate the
+	// comparison — only the absolute budget check applies.
+	old := &analyze.Artifact{
+		Tool: "fftbench",
+		Rows: []analyze.Row{{Name: "fp64-16", GPUs: 12, Seconds: 0.01}},
+	}
+	if d := analyze.Diff(old, base, 0.10); d.Regressed() {
+		t.Errorf("new error rows against an old baseline regressed: %+v", d)
 	}
 }
 

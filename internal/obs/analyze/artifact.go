@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"repro/internal/obs"
+	"repro/internal/obs/errtrack"
 )
 
 // ArtifactSchema is the current bench-artifact schema version. Loaders
@@ -49,6 +50,83 @@ type Row struct {
 	// Faults holds the run's fault-injection and recovery counters (nil
 	// for fault-free runs, which keeps committed baselines unchanged).
 	Faults *FaultRow `json:"faults,omitempty"`
+	// Errors is the per-reshape error-provenance ledger of the row: the
+	// measured error each stage introduced, its composition against the
+	// theoretical bound composition, and the per-rank×peer attribution
+	// matrix. Nil when the run measured no compression error, which keeps
+	// lossless rows and old baselines unchanged.
+	Errors []ErrorStageRow `json:"errors,omitempty"`
+}
+
+// ErrorStageRow is one reshape stage of a row's error-provenance ledger.
+type ErrorStageRow struct {
+	Label string `json:"label"`
+	// Bound is the stage's configured error bound; WorstRel the measured
+	// worst relative error (the contract is WorstRel ≤ Bound).
+	Bound    float64 `json:"bound,omitempty"`
+	WorstRel float64 `json:"worst_rel,omitempty"`
+	RMS      float64 `json:"rms,omitempty"`
+	MaxAbs   float64 `json:"max_abs,omitempty"`
+	Values   int64   `json:"values,omitempty"`
+	// CumMeasured/CumBound compose the per-stage errors across the
+	// pipeline so far: prod(1+e_i)−1 over measured and bound errors.
+	CumMeasured float64 `json:"cum_measured,omitempty"`
+	CumBound    float64 `json:"cum_bound,omitempty"`
+	// Share is the stage's fraction of the row's accumulated squared
+	// error (the budget share the SLO kind caps).
+	Share    float64 `json:"share,omitempty"`
+	Poisoned int64   `json:"poisoned,omitempty"`
+	// Pairs is the (rank, peer) attribution matrix, capped at
+	// MaxArtifactPairs entries; DroppedPairs counts the rest so a
+	// truncated matrix never reads as a complete one.
+	Pairs        []errtrack.PairStat `json:"pairs,omitempty"`
+	DroppedPairs int64               `json:"dropped_pairs,omitempty"`
+}
+
+// MaxArtifactPairs bounds the attribution matrix embedded per stage in
+// a bench artifact (the full matrix stays available via -errtrack).
+const MaxArtifactPairs = 256
+
+// ErrorRows extracts one cell's error-provenance ledger from a tracker
+// (nil tracker, unknown cell, or a cell that measured nothing yields
+// nil, keeping lossless rows byte-identical to old artifacts).
+func ErrorRows(t *errtrack.Tracker, cell string) []ErrorStageRow {
+	if t == nil {
+		return nil
+	}
+	rep := t.Snapshot()
+	for _, c := range rep.Cells {
+		if c.Cell != cell {
+			continue
+		}
+		stages := make(map[string]errtrack.StageReport, len(c.Stages))
+		for _, s := range c.Stages {
+			stages[s.Label] = s
+		}
+		led := errtrack.BuildLedger(c, nil)
+		out := make([]ErrorStageRow, 0, len(led.Rows))
+		for _, r := range led.Rows {
+			s := stages[r.Label]
+			row := ErrorStageRow{
+				Label: r.Label, Bound: r.Bound, WorstRel: r.Measured,
+				RMS: s.RMS, MaxAbs: s.MaxAbs, Values: r.Values,
+				CumMeasured: r.MeasuredCum, CumBound: r.BoundCum,
+				Share: r.Share, Poisoned: s.Poisoned,
+				Pairs:        s.Pairs,
+				DroppedPairs: s.DroppedPairs,
+			}
+			if len(row.Pairs) > MaxArtifactPairs {
+				row.DroppedPairs += int64(len(row.Pairs) - MaxArtifactPairs)
+				row.Pairs = row.Pairs[:MaxArtifactPairs]
+			}
+			out = append(out, row)
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return out
+	}
+	return nil
 }
 
 // FaultRow is one row's fault/recovery ledger, populated from the

@@ -33,11 +33,16 @@ type DiffResult struct {
 	// when their baseline was not: those numbers are not comparable to
 	// the fast path the baseline recorded, so the gate fails.
 	Degraded []string
+	// OverBudget lists stages of the new artifact whose measured error
+	// exceeds the theoretical bound, or that saw poisoned (non-finite)
+	// payloads. Unlike the threshold comparisons this gate needs no
+	// baseline: a bound violation is wrong in absolute terms.
+	OverBudget []string
 }
 
 // Regressed reports whether the gate should fail.
 func (d DiffResult) Regressed() bool {
-	return len(d.Regressions) > 0 || len(d.Missing) > 0 || len(d.Degraded) > 0
+	return len(d.Regressions) > 0 || len(d.Missing) > 0 || len(d.Degraded) > 0 || len(d.OverBudget) > 0
 }
 
 // Diff compares two artifacts row by row (matched on name and GPU
@@ -85,6 +90,15 @@ func Diff(oldA, newA *Artifact, threshold float64) DiffResult {
 		compare("seconds", or.Seconds, nr.Seconds, true)
 		compare("node_bw", or.NodeBW, nr.NodeBW, false)
 		compare("max_error", or.MaxError, nr.MaxError, true)
+		oldErr := make(map[string]ErrorStageRow, len(or.Errors))
+		for _, e := range or.Errors {
+			oldErr[e.Label] = e
+		}
+		for _, e := range nr.Errors {
+			if oe, ok := oldErr[e.Label]; ok {
+				compare("err/"+e.Label, oe.WorstRel, e.WorstRel, true)
+			}
+		}
 		if nr.Faults.Degraded() && !or.Faults.Degraded() {
 			d.Degraded = append(d.Degraded, rowName(nr))
 		}
@@ -92,6 +106,17 @@ func Diff(oldA, newA *Artifact, threshold float64) DiffResult {
 	for _, r := range newA.Rows {
 		if !seen[key{r.Name, r.GPUs}] {
 			d.Added = append(d.Added, rowName(r))
+		}
+		// The budget gate covers every new row, matched or not.
+		for _, e := range r.Errors {
+			if e.Bound > 0 && e.WorstRel > e.Bound {
+				d.OverBudget = append(d.OverBudget,
+					fmt.Sprintf("%s %s: measured %.3g > bound %.3g", rowName(r), e.Label, e.WorstRel, e.Bound))
+			}
+			if e.Poisoned > 0 {
+				d.OverBudget = append(d.OverBudget,
+					fmt.Sprintf("%s %s: %d poisoned (non-finite) error samples", rowName(r), e.Label, e.Poisoned))
+			}
 		}
 	}
 	return d
@@ -110,6 +135,9 @@ func (d DiffResult) WriteText(w io.Writer) {
 	}
 	for _, g := range d.Degraded {
 		fmt.Fprintf(w, "DEGRADED   %-24s measured on a degraded path (repairs/fallback/losses); not comparable to baseline\n", g)
+	}
+	for _, o := range d.OverBudget {
+		fmt.Fprintf(w, "OVERBUDGET %s\n", o)
 	}
 	for _, l := range d.Improvements {
 		fmt.Fprintf(w, "improved   %-24s %-9s %.4g -> %.4g (%+.1f%%)\n",

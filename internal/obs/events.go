@@ -18,6 +18,16 @@ const (
 	EventFallback = "fallback"   // a peer escalated to lossless fallback
 	EventBreach   = "slo_breach" // an SLO objective left its budget
 	EventRun      = "run"        // a new run/cell started (virtual time resets)
+	// EventErrAttr carries one peer's compression-error attribution for
+	// one reshape epoch: Label is the reshape, Peer the destination,
+	// Value the block's worst relative error, Bound the method's bound,
+	// and MaxAbs/RMS/N the block-level error statistics. The errtrack
+	// layer aggregates these into the provenance ledger.
+	EventErrAttr = "error_attribution"
+	// EventEnd is the end-of-stream marker a session emits as its very
+	// last event before closing the JSONL sink; Value carries the final
+	// sequence number so replays can prove the stream arrived whole.
+	EventEnd = "run_end"
 )
 
 // Event is one line of the streaming JSONL event log: something that
@@ -26,13 +36,19 @@ const (
 type Event struct {
 	T     float64 `json:"t"`               // virtual seconds since run start
 	Run   int64   `json:"run"`             // run sequence number (see EventRun)
+	Seq   int64   `json:"seq,omitempty"`   // 1-based emission sequence number (stream integrity)
 	Rank  int     `json:"rank"`            // reporting rank; -1 = engine/driver
 	Kind  string  `json:"kind"`            // one of the Event* constants
 	Label string  `json:"label,omitempty"` // phase name, reshape label, fault kind, objective name
 	Peer  int     `json:"peer"`            // the other rank involved; -1 = none
 	Value float64 `json:"value"`           // duration, error, burn rate, delay — kind-specific
 	Bound float64 `json:"bound,omitempty"` // error events: the configured bound
-	Msg   string  `json:"msg,omitempty"`   // free-form detail
+	// Error-attribution statistics (EventErrAttr only): the block's
+	// largest absolute error, root-mean-square error, and value count.
+	MaxAbs float64 `json:"max_abs,omitempty"`
+	RMS    float64 `json:"rms,omitempty"`
+	N      int64   `json:"n,omitempty"`
+	Msg    string  `json:"msg,omitempty"` // free-form detail
 }
 
 // EventLog is a bounded, drop-counting stream of Events — the live
@@ -126,6 +142,7 @@ func (l *EventLog) Emit(ev Event) {
 	l.mu.Lock()
 	ev.Run = l.run
 	l.total++
+	ev.Seq = l.total
 	l.counts[ev.Kind]++
 	if len(l.ring) < l.cap {
 		l.ring = append(l.ring, ev)
@@ -149,6 +166,20 @@ func (l *EventLog) Emit(ev Event) {
 	for _, fn := range obs {
 		fn(ev)
 	}
+}
+
+// EmitEnd emits the end-of-stream marker: one final event whose Value is
+// its own sequence number. A replay that does not find it as the last
+// line knows the stream was truncated. Call it once, after all emitters
+// have quiesced (concurrent Emit would race the marker past the end).
+func (l *EventLog) EmitEnd() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	final := l.total + 1
+	l.mu.Unlock()
+	l.Emit(Event{Kind: EventEnd, Rank: -1, Peer: -1, Value: float64(final)})
 }
 
 // Events returns the retained events, oldest first.

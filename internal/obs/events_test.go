@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -122,6 +124,62 @@ func TestEventLogObservers(t *testing.T) {
 	}
 	if got := l.Counts()[EventBreach]; got != 1 {
 		t.Fatalf("breach count = %d, want 1", got)
+	}
+}
+
+// TestEventLogConcurrentEmitters pins the drop-accounting contract under
+// contention (run under -race in the verify tier): with many goroutines
+// emitting at once into a small ring, no event may be lost from the
+// books — Total counts every emission, Dropped is exactly the overflow,
+// sequence numbers stay unique and contiguous, observers see every
+// event, and the retained ring holds precisely the newest cap events.
+func TestEventLogConcurrentEmitters(t *testing.T) {
+	const emitters = 8
+	const perEmitter = 400
+	const ring = 64
+	l := NewEventLog(ring)
+	var observed atomic.Int64
+	l.Observe(func(Event) { observed.Add(1) })
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				l.Emit(Event{Kind: EventErrAttr, Rank: g, Peer: i % 4, Value: 1e-5})
+			}
+		}(g)
+	}
+	wg.Wait()
+	l.EmitEnd()
+
+	const total = emitters*perEmitter + 1 // + the end marker
+	if got := l.Total(); got != total {
+		t.Fatalf("Total = %d, want %d", got, total)
+	}
+	if got := l.Dropped(); got != total-ring {
+		t.Fatalf("Dropped = %d, want %d", got, total-ring)
+	}
+	if got := observed.Load(); got != total {
+		t.Fatalf("observer saw %d events, want %d", got, total)
+	}
+	evs := l.Events()
+	if len(evs) != ring {
+		t.Fatalf("retained %d events, want %d", len(evs), ring)
+	}
+	// The survivors are the newest ring events: seqs total-ring+1..total,
+	// strictly increasing, ending at the run_end marker.
+	for i, ev := range evs {
+		if want := int64(total - ring + 1 + i); ev.Seq != want {
+			t.Fatalf("retained event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != EventEnd || last.Value != float64(total) {
+		t.Fatalf("stream does not end with a consistent run_end marker: %+v", last)
+	}
+	if got := l.Counts()[EventErrAttr]; got != emitters*perEmitter {
+		t.Fatalf("Counts[%s] = %d, want %d (drops must still count)", EventErrAttr, got, emitters*perEmitter)
 	}
 }
 

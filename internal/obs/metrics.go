@@ -28,13 +28,22 @@ func newMetrics() *Metrics {
 
 // hist is a power-of-two-bucket histogram over non-negative samples.
 type hist struct {
-	count    int64
-	sum      float64
-	min, max float64
-	buckets  [64]int64 // bucket i holds samples in [2^(i-32), 2^(i-31))
+	count     int64
+	nonfinite int64 // NaN/±Inf samples rejected (they would poison sum/quantiles)
+	sum       float64
+	min, max  float64
+	buckets   [64]int64 // bucket i holds samples in [2^(i-32), 2^(i-31))
 }
 
 func (h *hist) observe(v float64) {
+	// A single NaN makes every later Sum/Mean NaN and an Inf saturates
+	// them, so corrupted payloads (fault injection puts NaNs on the wire)
+	// must never reach the accumulator. Rejections stay visible as a
+	// separate count.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.nonfinite++
+		return
+	}
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -118,6 +127,7 @@ func (m *Metrics) Gauge(name string) (float64, bool) {
 // enough to tell a tail from a shifted median.
 type HistStat struct {
 	Count         int64
+	NonFinite     int64 // NaN/±Inf samples rejected, not in Count/Sum
 	Sum           float64
 	Min, Max      float64
 	P50, P95, P99 float64
@@ -184,7 +194,7 @@ func (h *hist) quantile(q float64) float64 {
 
 func (h *hist) stat() HistStat {
 	return HistStat{
-		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		Count: h.count, NonFinite: h.nonfinite, Sum: h.sum, Min: h.min, Max: h.max,
 		P50: h.quantile(0.50), P95: h.quantile(0.95), P99: h.quantile(0.99),
 	}
 }
@@ -376,6 +386,27 @@ func CompressMetricNames(label string) (raw, wire, errBound string) {
 	return compressPrefix + label + rawBytesSuffix,
 		compressPrefix + label + wireBytesSuffix,
 		compressPrefix + label + errBoundSuffix
+}
+
+// Error-provenance naming convention (internal/obs/errtrack): each
+// labelled lossy exchange maintains per-epoch histograms of the worst
+// relative error and the RMS error per destination block, plus a counter
+// of the values whose error was measured.
+const (
+	errtrackPrefix = "errtrack/"
+	maxRelSuffix   = "/max_rel"
+	rmsSuffix      = "/rms"
+	valuesSuffix   = "/values"
+)
+
+// ErrtrackMetricNames returns the precomputed metric names of one
+// labelled exchange's error-attribution family (worst-relative-error
+// histogram, RMS histogram, measured-values counter), for
+// construction-time use by hot paths.
+func ErrtrackMetricNames(label string) (maxRel, rms, values string) {
+	return errtrackPrefix + label + maxRelSuffix,
+		errtrackPrefix + label + rmsSuffix,
+		errtrackPrefix + label + valuesSuffix
 }
 
 // CompressionStat is the achieved compression of one labelled exchange.

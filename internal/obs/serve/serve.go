@@ -5,6 +5,7 @@
 //	/healthz      liveness probe
 //	/slo          SLO objective status as JSON
 //	/events       the retained event ring as JSONL (?n= limits to the tail)
+//	/errtrack     the error-provenance report as JSON (errtrack.Report)
 //	/debug/pprof  the standard Go profiler endpoints
 //
 // Handlers only read snapshots (Metrics.Snapshot, EventLog.Events,
@@ -24,38 +25,41 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/errtrack"
 	"repro/internal/obs/slo"
 )
 
-// Server serves one recorder/event-log/SLO-engine triple. Sources may
-// be swapped between runs (SetSources) while the listener stays up.
+// Server serves one recorder/event-log/SLO-engine/error-tracker set.
+// Sources may be swapped between runs (SetSources) while the listener
+// stays up.
 type Server struct {
 	mu  sync.Mutex
 	rec *obs.Recorder
 	log *obs.EventLog
 	eng *slo.Engine
+	trk *errtrack.Tracker
 
 	srv *http.Server
 	ln  net.Listener
 }
 
 // New creates an unstarted server with the given (possibly nil) sources.
-func New(rec *obs.Recorder, log *obs.EventLog, eng *slo.Engine) *Server {
-	return &Server{rec: rec, log: log, eng: eng}
+func New(rec *obs.Recorder, log *obs.EventLog, eng *slo.Engine, trk *errtrack.Tracker) *Server {
+	return &Server{rec: rec, log: log, eng: eng, trk: trk}
 }
 
 // SetSources swaps the telemetry sources the handlers read (drivers
 // call this when a new cell creates a fresh recorder).
-func (s *Server) SetSources(rec *obs.Recorder, log *obs.EventLog, eng *slo.Engine) {
+func (s *Server) SetSources(rec *obs.Recorder, log *obs.EventLog, eng *slo.Engine, trk *errtrack.Tracker) {
 	s.mu.Lock()
-	s.rec, s.log, s.eng = rec, log, eng
+	s.rec, s.log, s.eng, s.trk = rec, log, eng, trk
 	s.mu.Unlock()
 }
 
-func (s *Server) sources() (*obs.Recorder, *obs.EventLog, *slo.Engine) {
+func (s *Server) sources() (*obs.Recorder, *obs.EventLog, *slo.Engine, *errtrack.Tracker) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.rec, s.log, s.eng
+	return s.rec, s.log, s.eng, s.trk
 }
 
 // Start listens on addr (host:port; port 0 picks a free one) and serves
@@ -70,6 +74,7 @@ func (s *Server) Start(addr string) (string, error) {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/errtrack", s.handleErrtrack)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -98,7 +103,7 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	rec, _, eng := s.sources()
+	rec, _, eng, _ := s.sources()
 	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
 	snap := rec.Metrics().Snapshot()
 	if err := obs.WriteOpenMetrics(w, snap.OpenMetricsFamilies(), eng.Families()); err != nil {
@@ -118,7 +123,7 @@ type SLOResponse struct {
 }
 
 func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
-	_, _, eng := s.sources()
+	_, _, eng, _ := s.sources()
 	w.Header().Set("Content-Type", "application/json")
 	resp := SLOResponse{Summary: eng.Summary(), Objectives: eng.Status()}
 	enc := json.NewEncoder(w)
@@ -127,7 +132,7 @@ func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	_, log, _ := s.sources()
+	_, log, _, _ := s.sources()
 	events := log.Events()
 	if nStr := r.URL.Query().Get("n"); nStr != "" {
 		n, err := strconv.Atoi(nStr)
@@ -146,4 +151,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleErrtrack serves the error-provenance report: the same JSON the
+// -errtrack artifact carries, so cmd/errmap renders live scrapes and
+// offline artifacts identically.
+func (s *Server) handleErrtrack(w http.ResponseWriter, _ *http.Request) {
+	_, _, _, trk := s.sources()
+	w.Header().Set("Content-Type", "application/json")
+	rep := trk.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&rep) //nolint:errcheck // client went away mid-write
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/errtrack"
 	"repro/internal/obs/serve"
 	"repro/internal/obs/slo"
 )
@@ -60,7 +62,7 @@ func TestScrapeUnderLoad(t *testing.T) {
 	log.Observe(eng.ObserveEvent)
 	rec.SetEventLog(log)
 
-	srv := serve.New(rec, log, eng)
+	srv := serve.New(rec, log, eng, nil)
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -195,6 +197,65 @@ func tailOnce(base string) error {
 	return sc.Err()
 }
 
+// TestErrtrackEndpointParity is the live-vs-replay contract at the HTTP
+// boundary: the report scraped from /errtrack must deep-equal both the
+// live tracker's snapshot and the snapshot of a tracker rebuilt by
+// replaying the JSONL sink — same cells, same stages, same verdict.
+func TestErrtrackEndpointParity(t *testing.T) {
+	log := obs.NewEventLog(0)
+	live := errtrack.New()
+	log.Observe(live.Observe)
+	var sink strings.Builder
+	log.SetSink(&sink)
+
+	log.StartRun("parity-cell")
+	for i := 0; i < 12; i++ {
+		log.Emit(errtrack.AttrEvent(float64(i), "fwd0", i%3, 1e-3,
+			errtrack.Stat{N: 4, MaxRel: 1e-4 * float64(i+1), MaxAbs: 1e-6, SumSq: 1e-9}))
+	}
+	log.EmitEnd()
+
+	srv := serve.New(nil, log, nil, live)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + addr + "/errtrack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var scraped errtrack.Report
+	if err := json.NewDecoder(resp.Body).Decode(&scraped); err != nil {
+		t.Fatalf("/errtrack not a report: %v", err)
+	}
+	if scraped.Schema != errtrack.ReportSchema {
+		t.Fatalf("scraped schema = %d, want %d", scraped.Schema, errtrack.ReportSchema)
+	}
+
+	want := live.Snapshot()
+	if !reflect.DeepEqual(scraped, want) {
+		t.Fatalf("scrape diverges from live snapshot:\nscrape %+v\nlive   %+v", scraped, want)
+	}
+
+	replayed, bad, err := errtrack.Replay(strings.NewReader(sink.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatalf("replay rejected %d lines of the live sink", bad)
+	}
+	got := replayed.Snapshot()
+	if !reflect.DeepEqual(scraped, got) {
+		t.Fatalf("scrape diverges from replay:\nscrape %+v\nreplay %+v", scraped, got)
+	}
+	if scraped.Verdict() != got.Verdict() {
+		t.Fatalf("verdicts differ: scrape %q replay %q", scraped.Verdict(), got.Verdict())
+	}
+}
+
 // TestServeEndpoints covers the sidecar's static endpoints once,
 // without load.
 func TestServeEndpoints(t *testing.T) {
@@ -204,7 +265,7 @@ func TestServeEndpoints(t *testing.T) {
 		{Name: "r", Kind: slo.KindRepair, MaxCount: 0},
 	}}, log)
 	log.Observe(eng.ObserveEvent)
-	srv := serve.New(rec, log, eng)
+	srv := serve.New(rec, log, eng, nil)
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

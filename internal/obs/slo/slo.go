@@ -30,6 +30,18 @@ const (
 	KindRepair   = "repair"   // healer repair rounds
 	KindFallback = "fallback" // peers escalated to lossless fallback
 	KindFault    = "fault"    // injected/detected transport faults
+	// KindBudgetShare caps one stage's share of the accumulated squared
+	// compression error: it consumes error_attribution events, sums each
+	// block's squared error (rms²·n), and burns at share/Target where
+	// share is the Label stage's fraction of the window total. "reshape 2
+	// consumes ≤40% of the error budget" is {label: "fwd2", target: 0.4}.
+	KindBudgetShare = "budget_share"
+	// KindDrift watches achieved error drifting over epochs: it consumes
+	// per-epoch achieved-error events and burns at ratio/Target, where
+	// ratio is the late half of the window's mean error over the early
+	// half's (split at the virtual-time midpoint, so evaluation does not
+	// depend on observation order). target 2 tolerates a 2× drift.
+	KindDrift = "drift"
 )
 
 // Objective is one declarative SLO.
@@ -79,8 +91,18 @@ func (o *Objective) eventKind() string {
 		return obs.EventFallback
 	case KindFault:
 		return obs.EventFault
+	case KindBudgetShare:
+		return obs.EventErrAttr
+	case KindDrift:
+		return obs.EventError
 	}
 	return ""
+}
+
+// windowed reports whether the kind evaluates window statistics (and so
+// honors MinSamples) rather than counting events outright.
+func (o *Objective) windowed() bool {
+	return o.ratio() || o.Kind == KindBudgetShare || o.Kind == KindDrift
 }
 
 // Config is a set of objectives, loadable from JSON.
@@ -112,6 +134,17 @@ func (c *Config) Validate() error {
 		if o.Kind == KindError && o.Target <= 0 && o.BoundMultiple <= 0 {
 			return fmt.Errorf("slo: error objective %q needs target or bound_multiple", o.Name)
 		}
+		if o.Kind == KindBudgetShare {
+			if o.Label == "" {
+				return fmt.Errorf("slo: budget_share objective %q needs a label (the stage whose share is capped)", o.Name)
+			}
+			if o.Target <= 0 || o.Target > 1 {
+				return fmt.Errorf("slo: budget_share objective %q needs a target share in (0, 1]", o.Name)
+			}
+		}
+		if o.Kind == KindDrift && o.Target <= 0 {
+			return fmt.Errorf("slo: drift objective %q needs a positive target ratio", o.Name)
+		}
 		if o.WindowS < 0 || o.Budget < 0 || o.MaxCount < 0 || o.MinSamples < 0 {
 			return fmt.Errorf("slo: objective %q has a negative parameter", o.Name)
 		}
@@ -137,11 +170,15 @@ func LoadConfig(path string) (*Config, error) {
 	return &c, nil
 }
 
-// sample is one windowed observation: its virtual time and, for ratio
-// objectives, whether it violated the target.
+// sample is one windowed observation: its virtual time; for ratio
+// objectives whether it violated the target; for budget_share/drift the
+// observed value (squared error, resp. achieved error) and whether the
+// event carried the objective's label.
 type sample struct {
-	t   float64
-	bad bool
+	t     float64
+	bad   bool
+	v     float64
+	match bool
 }
 
 // tracker is one objective's evaluation state.
@@ -231,18 +268,30 @@ func (tr *tracker) observe(ev obs.Event) (obs.Event, bool) {
 	if ev.Kind != o.eventKind() || ev.Kind == obs.EventBreach {
 		return obs.Event{}, false
 	}
-	if o.Label != "" && o.Label != ev.Label {
+	// budget_share needs the whole attribution stream in its window (the
+	// share's denominator), so its label selects rather than filters.
+	if o.Kind != KindBudgetShare && o.Label != "" && o.Label != ev.Label {
 		return obs.Event{}, false
 	}
-	bad := false
-	if o.ratio() {
-		target := o.Target
-		if o.Kind == KindError && o.BoundMultiple > 0 && ev.Bound > 0 {
-			target = o.BoundMultiple * ev.Bound
+	s := sample{t: ev.T}
+	switch o.Kind {
+	case KindBudgetShare:
+		s.v = ev.RMS * ev.RMS * float64(ev.N) // the block's squared-error sum
+		s.match = ev.Label == o.Label
+		s.bad = s.match
+	case KindDrift:
+		s.v = ev.Value
+	default:
+		if o.ratio() {
+			target := o.Target
+			if o.Kind == KindError && o.BoundMultiple > 0 && ev.Bound > 0 {
+				target = o.BoundMultiple * ev.Bound
+			}
+			s.bad = ev.Value > target
 		}
-		bad = ev.Value > target
 	}
-	tr.window = append(tr.window, sample{t: ev.T, bad: bad})
+	bad := s.bad
+	tr.window = append(tr.window, s)
 	tr.cumSamples++
 	if bad {
 		tr.cumBad++
@@ -253,7 +302,7 @@ func (tr *tracker) observe(ev obs.Event) (obs.Event, bool) {
 		tr.worstBurn = burn
 	}
 	out := burn > 1
-	if o.ratio() && n < o.MinSamples {
+	if o.windowed() && n < o.MinSamples {
 		out = false
 	}
 	if out && !tr.breached {
@@ -298,7 +347,22 @@ func (tr *tracker) burn() (burn float64, n, nbad int64) {
 		}
 	}
 	o := &tr.obj
-	if o.ratio() {
+	switch {
+	case o.Kind == KindBudgetShare:
+		var num, den float64
+		for _, s := range tr.window {
+			den += s.v
+			if s.match {
+				num += s.v
+			}
+		}
+		if den == 0 {
+			return 0, n, nbad
+		}
+		return (num / den) / o.Target, n, nbad
+	case o.Kind == KindDrift:
+		return driftRatio(tr.window) / o.Target, n, nbad
+	case o.ratio():
 		if n == 0 {
 			return 0, 0, 0
 		}
@@ -312,6 +376,44 @@ func (tr *tracker) burn() (burn float64, n, nbad int64) {
 		return float64(n) / float64(o.MaxCount), n, nbad
 	}
 	return float64(n), n, nbad
+}
+
+// driftRatio is the window's late-half mean value over its early-half
+// mean, split at the virtual-time midpoint so the estimate is a pure
+// function of the sample multiset (the parallel engine does not preserve
+// observation order). 0 when either half is empty or the early mean is 0.
+func driftRatio(window []sample) float64 {
+	if len(window) < 2 {
+		return 0
+	}
+	tMin, tMax := window[0].t, window[0].t
+	for _, s := range window[1:] {
+		if s.t < tMin {
+			tMin = s.t
+		}
+		if s.t > tMax {
+			tMax = s.t
+		}
+	}
+	if tMax <= tMin {
+		return 0
+	}
+	mid := tMin + (tMax-tMin)/2
+	var earlySum, lateSum float64
+	var earlyN, lateN int
+	for _, s := range window {
+		if s.t <= mid {
+			earlySum += s.v
+			earlyN++
+		} else {
+			lateSum += s.v
+			lateN++
+		}
+	}
+	if earlyN == 0 || lateN == 0 || earlySum == 0 {
+		return 0
+	}
+	return (lateSum / float64(lateN)) / (earlySum / float64(earlyN))
 }
 
 // Status returns every objective's current state, in config order.

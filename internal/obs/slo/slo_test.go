@@ -209,6 +209,90 @@ func TestLoadConfigValidates(t *testing.T) {
 	}
 }
 
+// TestBudgetShareObjective pins the error-budget SLO: the objective caps
+// one stage's share of the squared-error mass accumulated across the
+// whole attribution stream in its window, so its label selects the
+// numerator rather than filtering the stream.
+func TestBudgetShareObjective(t *testing.T) {
+	e, log := engine(t, Objective{
+		Name: "fwd1-share", Kind: KindBudgetShare, Label: "fwd1", Target: 0.5, MinSamples: 2,
+	})
+	attr := func(ts float64, label string, rms float64) obs.Event {
+		return obs.Event{T: ts, Kind: obs.EventErrAttr, Label: label, Peer: 0, RMS: rms, N: 1}
+	}
+	// One matching event alone is 100% of the mass (burn 2), but below
+	// MinSamples no verdict is allowed yet.
+	log.Emit(attr(0, "fwd1", 1))
+	if st := e.Status()[0]; st.Breached || st.Breaches != 0 {
+		t.Fatalf("breached below MinSamples: %+v", st)
+	}
+	// A heavy fwd0 block dilutes the share: 1/(1+9) = 0.1, burn 0.2.
+	log.Emit(attr(1, "fwd0", 3))
+	if st := e.Status()[0]; st.Breached {
+		t.Fatalf("breached at share 0.1: %+v", st)
+	}
+	// More fwd1 mass: (1+9)/(1+9+9) ≈ 0.53 > 0.5 — breach.
+	log.Emit(attr(2, "fwd1", 3))
+	st := e.Status()[0]
+	if !st.Breached || st.Breaches != 1 {
+		t.Fatalf("no breach at share > target: %+v", st)
+	}
+	if !strings.Contains(e.Summary(), "FAIL") {
+		t.Fatalf("Summary = %q, want FAIL", e.Summary())
+	}
+}
+
+// TestDriftObjective pins the drift SLO: the late-half mean of achieved
+// error over the early-half mean, split at the window's virtual-time
+// midpoint, breaching when the ratio exceeds the target.
+func TestDriftObjective(t *testing.T) {
+	e, log := engine(t, Objective{
+		Name: "err-drift", Kind: KindDrift, Target: 2, MinSamples: 4,
+	})
+	errEv := func(ts, v float64) obs.Event {
+		return obs.Event{T: ts, Kind: obs.EventError, Label: "fwd0", Value: v, Bound: 1e-3}
+	}
+	// Early plateau at 1e-4, then a 3× late half: drift 3, burn 1.5 —
+	// but not before MinSamples observations are in.
+	log.Emit(errEv(0, 1e-4))
+	log.Emit(errEv(1, 1e-4))
+	log.Emit(errEv(9, 3e-4))
+	if st := e.Status()[0]; st.Breached {
+		t.Fatalf("breached below MinSamples: %+v", st)
+	}
+	log.Emit(errEv(10, 3e-4))
+	st := e.Status()[0]
+	if !st.Breached || st.Breaches != 1 {
+		t.Fatalf("no breach at drift 3 > target 2: %+v", st)
+	}
+
+	// A flat series must not breach: drift 1, burn 0.5.
+	e2, log2 := engine(t, Objective{
+		Name: "err-drift", Kind: KindDrift, Target: 2, MinSamples: 4,
+	})
+	for i := 0; i < 6; i++ {
+		log2.Emit(errEv(float64(i), 1e-4))
+	}
+	if st := e2.Status()[0]; st.Breached || st.Breaches != 0 {
+		t.Fatalf("flat series breached: %+v", st)
+	}
+}
+
+// TestBudgetShareDriftValidation pins the config-time rejections for the
+// two errtrack-fed objective kinds.
+func TestBudgetShareDriftValidation(t *testing.T) {
+	for name, obj := range map[string]Objective{
+		"share-no-label":   {Name: "s", Kind: KindBudgetShare, Target: 0.5},
+		"share-bad-target": {Name: "s", Kind: KindBudgetShare, Label: "fwd0", Target: 1.5},
+		"drift-no-target":  {Name: "d", Kind: KindDrift},
+	} {
+		c := &Config{Objectives: []Objective{obj}}
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid objective accepted", name)
+		}
+	}
+}
+
 func TestNilEngine(t *testing.T) {
 	var e *Engine
 	e.ObserveEvent(obs.Event{Kind: obs.EventFault})

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/obs"
+	"repro/internal/obs/errtrack"
 	"repro/internal/obs/serve"
 	"repro/internal/obs/slo"
 )
@@ -24,25 +25,34 @@ type Flags struct {
 	Serve    *string
 	EventLog *string
 	SLO      *string
+	Errtrack *string
 }
 
-// RegisterFlags declares the -serve/-eventlog/-slo flags on fs (nil
-// selects flag.CommandLine). Call before flag.Parse.
+// RegisterFlags declares the -serve/-eventlog/-slo/-errtrack flags on fs
+// (nil selects flag.CommandLine). Call before flag.Parse.
 func RegisterFlags(fs *flag.FlagSet) *Flags {
 	if fs == nil {
 		fs = flag.CommandLine
 	}
 	return &Flags{
-		Serve:    fs.String("serve", "", "serve live telemetry over HTTP on this address (/metrics, /healthz, /slo, /events, /debug/pprof); port 0 picks a free port"),
+		Serve:    fs.String("serve", "", "serve live telemetry over HTTP on this address (/metrics, /healthz, /slo, /events, /errtrack, /debug/pprof); port 0 picks a free port"),
 		EventLog: fs.String("eventlog", "", "stream the telemetry event log to this file as JSONL"),
 		SLO:      fs.String("slo", "", "evaluate the SLO objectives in this JSON config (see docs/slo.example.json)"),
+		Errtrack: fs.String("errtrack", "", "write the error-provenance report (per-reshape/per-peer attribution; cmd/errmap renders it) to this JSON file"),
 	}
 }
 
 // Start builds the Session the parsed flags ask for; nil (and no error)
-// when all three are off.
+// when all of them are off.
 func (f *Flags) Start() (*Session, error) {
-	return Start(Config{Serve: *f.Serve, EventLog: *f.EventLog, SLO: *f.SLO})
+	return Start(f.Config())
+}
+
+// Config returns the parsed flag values as a Config, for drivers that
+// amend it (e.g. forcing the tracker on for artifact embedding) before
+// calling Start.
+func (f *Flags) Config() Config {
+	return Config{Serve: *f.Serve, EventLog: *f.EventLog, SLO: *f.SLO, Errtrack: *f.Errtrack}
 }
 
 // Config selects which telemetry pieces to enable; zero values are off.
@@ -50,27 +60,39 @@ type Config struct {
 	Serve    string // HTTP listen address
 	EventLog string // JSONL sink path
 	SLO      string // objectives config path
-	EventCap int    // event ring capacity (0 = default)
+	Errtrack string // error-provenance report path
+	// Tracker attaches the error-provenance tracker without writing a
+	// report file — benches set it so their -json artifacts can embed the
+	// attribution matrix.
+	Tracker  bool
+	EventCap int // event ring capacity (0 = default)
 }
 
 // Session is one process's live-telemetry state.
 type Session struct {
-	log  *obs.EventLog
-	eng  *slo.Engine
-	srv  *serve.Server
-	addr string
-	file *os.File
-	bw   *bufio.Writer
+	log     *obs.EventLog
+	eng     *slo.Engine
+	trk     *errtrack.Tracker
+	srv     *serve.Server
+	addr    string
+	errPath string
+	file    *os.File
+	bw      *bufio.Writer
 }
 
 // Start assembles a session: the event log spine, then the JSONL sink,
 // SLO engine, and HTTP server as configured. Returns nil when the
 // config enables nothing.
 func Start(cfg Config) (*Session, error) {
-	if cfg.Serve == "" && cfg.EventLog == "" && cfg.SLO == "" {
+	if cfg.Serve == "" && cfg.EventLog == "" && cfg.SLO == "" && cfg.Errtrack == "" && !cfg.Tracker {
 		return nil, nil
 	}
 	s := &Session{log: obs.NewEventLog(cfg.EventCap)}
+	if cfg.Errtrack != "" || cfg.Tracker {
+		s.trk = errtrack.New()
+		s.errPath = cfg.Errtrack
+		s.log.Observe(s.trk.Observe)
+	}
 	if cfg.EventLog != "" {
 		file, err := os.Create(cfg.EventLog)
 		if err != nil {
@@ -90,7 +112,7 @@ func Start(cfg Config) (*Session, error) {
 		s.log.Observe(s.eng.ObserveEvent)
 	}
 	if cfg.Serve != "" {
-		s.srv = serve.New(nil, s.log, s.eng)
+		s.srv = serve.New(nil, s.log, s.eng, s.trk)
 		addr, err := s.srv.Start(cfg.Serve)
 		if err != nil {
 			s.closeSink()
@@ -120,6 +142,15 @@ func (s *Session) Engine() *slo.Engine {
 	return s.eng
 }
 
+// Tracker returns the error-provenance tracker (nil unless -errtrack or
+// Config.Tracker enabled it).
+func (s *Session) Tracker() *errtrack.Tracker {
+	if s == nil {
+		return nil
+	}
+	return s.trk
+}
+
 // Addr returns the HTTP server's bound address (empty without -serve).
 func (s *Session) Addr() string {
 	if s == nil {
@@ -137,7 +168,7 @@ func (s *Session) Attach(rec *obs.Recorder) {
 	}
 	rec.SetEventLog(s.log)
 	if s.srv != nil {
-		s.srv.SetSources(rec, s.log, s.eng)
+		s.srv.SetSources(rec, s.log, s.eng, s.trk)
 	}
 }
 
@@ -185,6 +216,9 @@ func (s *Session) Summary() string {
 	counts := s.log.Counts()
 	base := fmt.Sprintf("repairs=%d fallbacks=%d faults=%d events=%d",
 		counts[obs.EventRepair], counts[obs.EventFallback], counts[obs.EventFault], s.log.Total())
+	if s.trk != nil {
+		base += "; " + s.trk.Snapshot().Verdict()
+	}
 	if s.eng != nil {
 		return "telemetry: " + s.eng.Summary() + "; " + base
 	}
@@ -205,14 +239,24 @@ func (s *Session) closeSink() error {
 	return err
 }
 
-// Close flushes the JSONL sink and stops the HTTP server, returning the
-// first error the sink ever hit so a silently failing event stream
-// cannot masquerade as a healthy run.
+// Close emits the end-of-stream marker, flushes the JSONL sink, writes
+// the -errtrack report, and stops the HTTP server, returning the first
+// error the sink ever hit so a silently failing event stream cannot
+// masquerade as a healthy run.
 func (s *Session) Close() error {
 	if s == nil {
 		return nil
 	}
+	// The marker must be the stream's last event: Close runs after the
+	// driver's runs have finished, so no emitter races past it. Replays
+	// that do not find it know the stream was truncated.
+	s.log.EmitEnd()
 	err := s.log.SinkErr()
+	if s.trk != nil && s.errPath != "" {
+		if werr := s.trk.Snapshot().WriteFile(s.errPath); err == nil {
+			err = werr
+		}
+	}
 	if ferr := s.closeSink(); err == nil {
 		err = ferr
 	}
