@@ -1,6 +1,6 @@
 # Convenience targets; the repo needs only the Go toolchain.
 
-.PHONY: build test lint verify verify-parallel trace-demo telemetry-demo errmap-demo bench benchdiff chaos chaos-race clean
+.PHONY: build test lint verify verify-parallel trace-demo telemetry-demo errmap-demo bench benchdiff chaos chaos-race chaos-recovery clean
 
 build:
 	go build ./...
@@ -23,6 +23,7 @@ verify:
 	go run ./cmd/chaos -seeds 8
 	go run ./cmd/chaos -seeds 8 -parallel
 	go run -race ./cmd/chaos -seeds 8
+	$(MAKE) chaos-recovery
 	$(MAKE) telemetry-demo
 	$(MAKE) errmap-demo
 
@@ -68,6 +69,16 @@ chaos:
 chaos-race:
 	go run -race ./cmd/chaos -seeds 25
 	go run -race ./cmd/chaos -seeds 25 -parallel
+
+# chaos-recovery sweeps the crash-recovery workloads: the same seeded
+# fault plans run under the recovery controller (epoch checkpoints,
+# rollback/respawn on crash verdicts, with double-fault and
+# restart-budget stratification per seed — docs/ROBUSTNESS.md), in both
+# engine modes; seeds 1..20 hit all three crash paths (recover,
+# unrecoverable, double fault). Part of `make verify`.
+chaos-recovery:
+	go run ./cmd/chaos -seeds 20 -workloads recover-osc,recover-comp
+	go run ./cmd/chaos -seeds 20 -workloads recover-osc,recover-comp -parallel
 
 # trace-demo runs a small compressed strong-scaling cell and writes a
 # Chrome-trace JSON (open in chrome://tracing or ui.perfetto.dev) plus

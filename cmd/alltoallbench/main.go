@@ -27,6 +27,7 @@ import (
 	"repro/internal/obs/analyze"
 	"repro/internal/obs/telemetry"
 	"repro/internal/plot"
+	recov "repro/internal/recover"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "print the metrics report of the last measured cell")
 	jsonFlag := flag.String("json", "", "write the machine-readable bench artifact to this file")
 	faultsFlag := flag.Int64("faults", 0, "inject the seeded fault plan netsim.RandomPlan(seed); 0 disables (docs/ROBUSTNESS.md)")
+	recoverFlag := flag.Bool("recover", false, "run under the crash-recovery runtime: epoch checkpoints + rollback/respawn on crash verdicts (docs/ROBUSTNESS.md)")
 	parallelFlag := flag.Bool("parallel", false, "run the simulator's parallel engine (bit-identical results; docs/DETERMINISM.md)")
 	tf := telemetry.RegisterFlags(nil)
 	flag.Parse()
@@ -88,6 +90,9 @@ func main() {
 	if *faultsFlag != 0 {
 		artifact.Config["faults"] = fmt.Sprint(*faultsFlag)
 	}
+	if *recoverFlag {
+		artifact.Config["recover"] = "1"
+	}
 	// recorders keeps the last measured cell's recorder per algorithm so
 	// achieved compression can be reported after the table.
 	recorders := make([]*obs.Recorder, len(algos))
@@ -110,7 +115,21 @@ func main() {
 			if *faultsFlag != 0 {
 				machine.Faults = netsim.RandomPlan(*faultsFlag)
 			}
-			bw := exchange.NodeBandwidthWith(rec, machine, a, *msg, *iters)
+			var bw float64
+			if *recoverFlag {
+				var out recov.Outcome
+				var rerr error
+				bw, out, rerr = exchange.NodeBandwidthRecoverable(rec, machine, a, *msg, *iters, recov.Policy{Seed: *faultsFlag})
+				if rerr != nil {
+					fmt.Fprintf(os.Stderr, "alltoallbench: %s: %v\n", cell, rerr)
+					os.Exit(1)
+				}
+				if len(out.Recoveries) > 0 {
+					fmt.Fprintf(os.Stderr, "# %s: recovered %d crash(es), MTTR %.3gs\n", cell, len(out.Recoveries), out.MTTRSeconds)
+				}
+			} else {
+				bw = exchange.NodeBandwidthWith(rec, machine, a, *msg, *iters)
+			}
 			recorders[i] = rec
 			lastRec = rec
 			lastCell = fmt.Sprintf("%s @ %d GPUs", a, g)

@@ -13,6 +13,11 @@
 // hang fail the sweep. Every plan is seeded, so any failure reproduces
 // with `go run ./cmd/chaos -start <seed> -seeds 1 -v`.
 //
+// The recover-osc and recover-comp workloads additionally run under the
+// crash-recovery runtime (docs/ROBUSTNESS.md): per-epoch checkpoints,
+// rollback/respawn on crash verdicts, double-fault and restart-budget
+// stratification per seed. `make chaos-recovery` drives them.
+//
 // Usage:
 //
 //	go run ./cmd/chaos [-seeds 60] [-start 1] [-workloads linear,pairwise,osc,osc-comp,osc-comp16] [-timeout 60s] [-v]
@@ -35,6 +40,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/obs/telemetry"
+	recov "repro/internal/recover"
 )
 
 // msgBytes / msgVals size one pair's payload. Large enough to cross the
@@ -49,14 +55,15 @@ const (
 type outcome int
 
 const (
-	outClean    outcome = iota // completed, bit-identical, no degradation
-	outDegraded                // completed, bit-identical, repairs/fallback reported
-	outError                   // explicit typed fault diagnostic
-	outBad                     // corrupt data, stray panic, or hang: contract violated
+	outClean     outcome = iota // completed, bit-identical, no degradation
+	outDegraded                 // completed, bit-identical, repairs/fallback reported
+	outRecovered                // completed bit-identically after rollback/respawn
+	outError                    // explicit typed fault diagnostic
+	outBad                      // corrupt data, stray panic, or hang: contract violated
 )
 
 func (o outcome) String() string {
-	return [...]string{"clean", "degraded", "error", "BAD"}[o]
+	return [...]string{"clean", "degraded", "recovered", "error", "BAD"}[o]
 }
 
 // report is the thread-safe result sink a workload body writes into.
@@ -197,6 +204,66 @@ var workloads = map[string]func(c *mpi.Comm, rep *report){
 	},
 }
 
+// recoveryLedger is the exchange state an epoch checkpoint carries
+// (the healing ledger of internal/exchange's one-sided algorithms).
+type recoveryLedger interface {
+	LedgerState() []byte
+	RestoreLedger([]byte) error
+}
+
+// recoveryEpochs drives iters exchange epochs under the checkpoint
+// protocol: epochs covered by the committed cut are skipped (the resume
+// epoch restores the healing ledger instead of re-running), the rest
+// execute and checkpoint.
+func recoveryEpochs(c *mpi.Comm, rk *recov.Rank, iters int, led recoveryLedger, run func()) {
+	for epoch := 1; epoch <= iters; epoch++ {
+		if resume := rk.Resume(); epoch <= resume {
+			if epoch == resume {
+				snap, err := rk.Restore()
+				if err != nil {
+					panic(fmt.Sprintf("chaos: rank %d cannot restore epoch %d: %v", c.Rank(), epoch, err))
+				}
+				if err := led.RestoreLedger(snap); err != nil {
+					panic(fmt.Sprintf("chaos: rank %d epoch %d: %v", c.Rank(), epoch, err))
+				}
+			}
+			continue
+		}
+		run()
+		rk.Checkpoint(epoch, led.LedgerState())
+	}
+}
+
+// recoveryWorkloads are the crash-recovery sweep cells: the same
+// exchange contracts, run under recov.Controller with per-epoch
+// checkpoints, so crash seeds exercise rollback/respawn (including
+// crash-during-checkpoint, double-fault, and budget-exhaustion paths).
+// They are kept out of the default -workloads list and driven by
+// `make chaos-recovery`.
+var recoveryWorkloads = map[string]func(c *mpi.Comm, rk *recov.Rank, rep *report){
+	"recover-osc": func(c *mpi.Comm, rk *recov.Rank, rep *report) {
+		o := exchange.NewOSC(c, exchange.Uniform(msgBytes), true)
+		recoveryEpochs(c, rk, 4, o, func() {
+			t0 := c.Now()
+			got := o.Exchange(sendBytes(c.Rank(), c.Size()))
+			emitExchange(c, "recover-osc", t0)
+			checkBytes(rep, c.Rank(), got)
+		})
+		rep.degraded(o.Health())
+	},
+	"recover-comp": func(c *mpi.Comm, rk *recov.Rank, rep *report) {
+		x := exchange.NewCompressedOSC(c, compress.Lossless{}, gpu.NewStream(gpu.V100(), c), 3, exchange.UniformCount(msgVals))
+		x.SetLabel("recover-comp")
+		recoveryEpochs(c, rk, 4, x, func() {
+			t0 := c.Now()
+			got := x.Exchange(sendVals(c.Rank(), c.Size()))
+			emitExchange(c, "recover-comp", t0)
+			checkVals(rep, c.Rank(), got)
+		})
+		rep.degraded(x.Health())
+	},
+}
+
 // explicit reports whether err is an attributed fault diagnostic rather
 // than a stray panic: every collected failure is a typed *mpi.FaultError
 // (or the run ended in a deadlock report).
@@ -264,6 +331,85 @@ func runOne(seed int64, name string, body func(*mpi.Comm, *report), timeout time
 	}
 }
 
+// runRecoverOne executes one recovery cell under the crash-recovery
+// controller. Crash seeds are stratified deterministically: seeds ≡ 0
+// (mod 3) disable the restart budget (the typed-unrecoverable path),
+// seeds ≡ 1 arm a second crash inside the first recovery window (the
+// double-fault path, aimed with a silent probe run — the probe's
+// timeline is identical to the real run up to the second crash), and
+// the rest recover normally. The contract extends the sweep's: a crash
+// either recovers bit-identically or yields a typed diagnosis.
+func runRecoverOne(seed int64, name string, body func(*mpi.Comm, *recov.Rank, *report), timeout time.Duration, verbose, parallel bool, rec *obs.Recorder) (outcome, string) {
+	cfg := netsim.Summit(1)
+	cfg.Parallel = parallel
+	cfg.Faults = netsim.RandomPlan(seed)
+	pol := recov.Policy{Seed: seed}
+	doubleFault := false
+	if cfg.Faults.CrashAt > 0 {
+		// Rescale benchmark-scale crash times into this harness's
+		// microsecond-scale workloads, as runOne does.
+		cfg.Faults.CrashAt = 0.5e-6 * float64(1+seed%40)
+		switch seed % 3 {
+		case 0:
+			pol.MaxRestarts = -1
+		case 1:
+			doubleFault = true
+		}
+	}
+	rep := &report{}
+	type res struct {
+		out recov.Outcome
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- res{err: fmt.Errorf("harness panic: %v", r)}
+			}
+		}()
+		if doubleFault {
+			// Probe with the first crash alone (no recorder: its events and
+			// counters would double-count) to learn where attempt 2 runs in
+			// virtual time, then aim the second crash at its middle.
+			ct := &recov.Controller{Policy: pol}
+			pout, perr := ct.Run(cfg, nil, func(c *mpi.Comm, rk *recov.Rank) { body(c, rk, &report{}) })
+			if perr == nil && len(pout.Recoveries) > 0 {
+				second := (pout.Recoveries[0].ResumeT + pout.Result.Time) / 2
+				cfg.Faults.CrashSchedule = []netsim.CrashSpec{{Rank: int((seed + 2) % 6), At: second}}
+			}
+		}
+		ct := &recov.Controller{Policy: pol}
+		out, err := ct.Run(cfg, rec, func(c *mpi.Comm, rk *recov.Rank) { body(c, rk, rep) })
+		ch <- res{out, err}
+	}()
+	var r res
+	select {
+	case r = <-ch:
+	case <-time.After(timeout):
+		return outBad, fmt.Sprintf("wall-clock hang (> %v)", timeout)
+	}
+	var ue *recov.UnrecoverableError
+	switch {
+	case r.err == nil && len(rep.mismatch) > 0:
+		return outBad, "silent corruption: " + strings.Join(rep.mismatch, "; ")
+	case r.err == nil && len(r.out.Recoveries) > 0:
+		return outRecovered, fmt.Sprintf("%d rollback(s), MTTR %.3gs, %d repairs, %d fallback links",
+			len(r.out.Recoveries), r.out.MTTRSeconds, rep.repairs, rep.fallback)
+	case r.err == nil && (rep.repairs > 0 || rep.fallback > 0):
+		return outDegraded, fmt.Sprintf("%d repairs, %d fallback links", rep.repairs, rep.fallback)
+	case r.err == nil:
+		return outClean, ""
+	case errors.As(r.err, &ue), explicit(r.err):
+		if verbose {
+			return outError, r.err.Error()
+		}
+		return outError, firstLine(r.err.Error())
+	default:
+		return outBad, "unattributed failure: " + r.err.Error()
+	}
+}
+
 func firstLine(s string) string {
 	if i := strings.IndexByte(s, '\n'); i >= 0 {
 		return s[:i] + " …"
@@ -274,7 +420,7 @@ func firstLine(s string) string {
 func main() {
 	seeds := flag.Int("seeds", 60, "number of fault plans to sweep")
 	start := flag.Int64("start", 1, "first seed (plans are deterministic per seed)")
-	workloadsFlag := flag.String("workloads", "linear,pairwise,osc,osc-comp,osc-comp16", "exchange workloads to sweep")
+	workloadsFlag := flag.String("workloads", "linear,pairwise,osc,osc-comp,osc-comp16", "exchange workloads to sweep (also: recover-osc,recover-comp — crash-recovery cells)")
 	timeout := flag.Duration("timeout", 60*time.Second, "wall-clock hang guard per run")
 	verbose := flag.Bool("v", false, "print every cell, not just summaries and violations")
 	parallel := flag.Bool("parallel", false, "run the simulator's parallel engine (verdicts are bit-identical; docs/DETERMINISM.md)")
@@ -301,7 +447,9 @@ func main() {
 	var names []string
 	for _, n := range strings.Split(*workloadsFlag, ",") {
 		n = strings.TrimSpace(n)
-		if _, ok := workloads[n]; !ok {
+		_, plain := workloads[n]
+		_, recoverable := recoveryWorkloads[n]
+		if !plain && !recoverable {
 			fmt.Fprintf(os.Stderr, "chaos: unknown workload %q\n", n)
 			os.Exit(2)
 		}
@@ -317,7 +465,13 @@ func main() {
 		scenarios[scenario]++
 		for _, name := range names {
 			tel.StartRun(fmt.Sprintf("seed%d/%s", seed, name))
-			out, detail := runOne(seed, name, workloads[name], *timeout, *verbose, *parallel, rec)
+			var out outcome
+			var detail string
+			if body, ok := workloads[name]; ok {
+				out, detail = runOne(seed, name, body, *timeout, *verbose, *parallel, rec)
+			} else {
+				out, detail = runRecoverOne(seed, name, recoveryWorkloads[name], *timeout, *verbose, *parallel, rec)
+			}
 			if counts[name] == nil {
 				counts[name] = map[outcome]int{}
 			}
@@ -351,10 +505,10 @@ func main() {
 		fmt.Printf(" %s=%d", k, scenarios[k])
 	}
 	fmt.Println()
-	fmt.Printf("%-12s %8s %10s %8s %6s\n", "workload", "clean", "degraded", "error", "bad")
+	fmt.Printf("%-12s %8s %10s %10s %8s %6s\n", "workload", "clean", "degraded", "recovered", "error", "bad")
 	for _, name := range names {
 		c := counts[name]
-		fmt.Printf("%-12s %8d %10d %8d %6d\n", name, c[outClean], c[outDegraded], c[outError], c[outBad])
+		fmt.Printf("%-12s %8d %10d %10d %8d %6d\n", name, c[outClean], c[outDegraded], c[outRecovered], c[outError], c[outBad])
 	}
 	if tel.Enabled() {
 		fmt.Println(tel.Summary())

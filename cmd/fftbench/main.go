@@ -38,6 +38,7 @@ import (
 	"repro/internal/obs/analyze"
 	"repro/internal/obs/telemetry"
 	"repro/internal/plot"
+	recov "repro/internal/recover"
 )
 
 // config pairs a named pipeline configuration with the options that
@@ -63,6 +64,18 @@ func (c config) run(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, simSc
 		return core.MeasureWith[complex64](rec, cfg, n, opts, iters, false)
 	}
 	return core.MeasureWith[complex128](rec, cfg, n, opts, iters, false)
+}
+
+// runRecoverable is run under the crash-recovery runtime: the plan
+// checkpoints after every reshape and absorbs watchdog crash verdicts
+// by rolling back and respawning (docs/ROBUSTNESS.md).
+func (c config) runRecoverable(rec *obs.Recorder, cfg netsim.Config, n [3]int, iters, simScale int, pol recov.Policy) (core.Result, recov.Outcome, error) {
+	opts := c.opts
+	opts.SimScale = simScale
+	if c.fp32 {
+		return core.MeasureRecoverable[complex64](rec, cfg, n, opts, iters, false, pol)
+	}
+	return core.MeasureRecoverable[complex128](rec, cfg, n, opts, iters, false, pol)
 }
 
 func configByName(name string) (config, bool) {
@@ -119,6 +132,7 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "print the phase-breakdown/metrics report of the last measured cell")
 	jsonFlag := flag.String("json", "", "write the machine-readable bench artifact to this file")
 	faultsFlag := flag.Int64("faults", 0, "inject the seeded fault plan netsim.RandomPlan(seed); 0 disables (docs/ROBUSTNESS.md)")
+	recoverFlag := flag.Bool("recover", false, "run under the crash-recovery runtime: epoch checkpoints + rollback/respawn on crash verdicts (docs/ROBUSTNESS.md)")
 	parallelFlag := flag.Bool("parallel", false, "run the simulator's parallel engine (bit-identical results; docs/DETERMINISM.md)")
 	tf := telemetry.RegisterFlags(nil)
 	flag.Parse()
@@ -181,6 +195,9 @@ func main() {
 	if *faultsFlag != 0 {
 		artifact.Config["faults"] = fmt.Sprint(*faultsFlag)
 	}
+	if *recoverFlag {
+		artifact.Config["recover"] = "1"
+	}
 	// One recorder per (config, GPU-count) cell; recorders keeps the last
 	// measured row's recorder per config for the post-table summaries.
 	recorders := make([]*obs.Recorder, len(configs))
@@ -203,7 +220,21 @@ func main() {
 			cell := fmt.Sprintf("%s/%dgpus", c.name, g)
 			tel.StartRun(cell)
 			tel.Attach(rec)
-			res := c.run(rec, machine, n, *iters, simScale)
+			var res core.Result
+			if *recoverFlag {
+				var out recov.Outcome
+				var rerr error
+				res, out, rerr = c.runRecoverable(rec, machine, n, *iters, simScale, recov.Policy{Seed: *faultsFlag})
+				if rerr != nil {
+					fmt.Fprintf(os.Stderr, "fftbench: %s: %v\n", cell, rerr)
+					os.Exit(1)
+				}
+				if len(out.Recoveries) > 0 {
+					fmt.Fprintf(os.Stderr, "# %s: recovered %d crash(es), MTTR %.3gs\n", cell, len(out.Recoveries), out.MTTRSeconds)
+				}
+			} else {
+				res = c.run(rec, machine, n, *iters, simScale)
+			}
 			gflops[i] = res.Gflops
 			recorders[i] = rec
 			lastRec = rec

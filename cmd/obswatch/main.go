@@ -17,8 +17,10 @@
 // recorded event stream through a fresh SLO engine and error tracker,
 // reproducing the breach and errtrack verdicts the live run saw; it
 // also verifies stream integrity (sequence numbers contiguous from 1,
-// the run_end marker present and last, no malformed or cut lines) and
-// exits non-zero with a diagnostic when the stream was truncated.
+// the run_end marker present and last, no malformed or cut lines, and
+// recovery-protocol sequencing: every resume names a previously
+// committed checkpoint epoch or -1) and exits non-zero with a
+// diagnostic when the stream was truncated.
 package main
 
 import (
@@ -37,6 +39,7 @@ import (
 	"repro/internal/obs/errtrack"
 	"repro/internal/obs/serve"
 	"repro/internal/obs/slo"
+	recov "repro/internal/recover"
 )
 
 func main() {
@@ -139,6 +142,12 @@ func runReplay(path, sloPath string) error {
 	var expect, gaps int64 = 1, 0
 	var firstGap string
 	var last obs.Event
+	// Recovery-protocol sequencing: commits register epochs; a resume
+	// naming an epoch that was never committed means the run resumed from
+	// a cut the store could not have held (a torn or lost checkpoint).
+	committed := map[int]bool{}
+	var resumeBad int
+	var firstResumeBad string
 	rd := bufio.NewReaderSize(f, 1<<20)
 	for {
 		line, rerr := rd.ReadString('\n')
@@ -171,6 +180,21 @@ func runReplay(path, sloPath string) error {
 					}
 					expect = ev.Seq + 1
 				}
+				if ev.Kind == obs.EventRecovery {
+					switch ev.Label {
+					case recov.LabelCommit:
+						committed[int(ev.Value)] = true
+					case recov.LabelResume:
+						// Value -1 is a legal from-scratch respawn (no cut
+						// had been committed when the crash hit).
+						if epoch := int(ev.Value); epoch >= 0 && !committed[epoch] {
+							resumeBad++
+							if firstResumeBad == "" {
+								firstResumeBad = fmt.Sprintf("resume at t=%.3gs names epoch %d", ev.T, epoch)
+							}
+						}
+					}
+				}
 				last = ev
 				eng.ObserveEvent(ev)
 				trk.Observe(ev)
@@ -185,6 +209,9 @@ func runReplay(path, sloPath string) error {
 	}
 	if gaps > 0 {
 		integrity = append(integrity, fmt.Sprintf("%d sequence gaps (first: %s) — events were lost", gaps, firstGap))
+	}
+	if resumeBad > 0 {
+		integrity = append(integrity, fmt.Sprintf("%d resume(s) without a preceding committed checkpoint (first: %s)", resumeBad, firstResumeBad))
 	}
 	if seqs {
 		switch {
@@ -275,7 +302,9 @@ func printCounters(samples []obs.OMSample) {
 	for _, name := range []string{
 		"fft_fault_drops_total", "fft_fault_retries_total", "fft_fault_crashes_total",
 		"fft_fault_silent_corrupt_total", "fft_exchange_repairs_total",
-		"fft_exchange_fallback_peers_total", "fft_slo_breach_total",
+		"fft_exchange_fallback_peers_total", "fft_exchange_repromotions_total",
+		"fft_recovery_checkpoints_total", "fft_recovery_rollbacks_total",
+		"fft_recovery_restarts_total", "fft_slo_breach_total",
 	} {
 		var sum float64
 		found := false

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	recov "repro/internal/recover"
 )
 
 // Result summarizes one measured configuration — a row of the paper's
@@ -88,4 +89,69 @@ func MeasureWith[C fft.Complex](rec *obs.Recorder, cfg netsim.Config, n [3]int, 
 	res.Gflops = flops / res.ForwardTime / 1e9
 	res.Stats = sim.Stats
 	return res
+}
+
+// MeasureRecoverable is MeasureWith under the crash-recovery runtime
+// (docs/ROBUSTNESS.md): the plan checkpoints after every reshape, and
+// on a watchdog crash verdict the controller rolls all ranks back to
+// the last committed epoch, respawns the run past the crash, and
+// resumes — up to the policy's restart budget. The outcome reports the
+// attempts taken and the recovery timeline; err is non-nil when the
+// budget is exhausted (a typed *recov.UnrecoverableError) or the run
+// failed for a reason that is not a crash.
+func MeasureRecoverable[C fft.Complex](rec *obs.Recorder, cfg netsim.Config, n [3]int, opts Options, iters int, wantErr bool, pol recov.Policy) (Result, recov.Outcome, error) {
+	res := Result{GPUs: cfg.Ranks()}
+	s := opts.SimScale
+	if s == 0 {
+		s = 1
+	}
+	flops := fft.FlopCount(s * n[0] * s * n[1] * s * n[2])
+	ct := &recov.Controller{Policy: pol}
+	out, err := ct.Run(cfg, rec, func(c *mpi.Comm, rk *recov.Rank) {
+		o := opts
+		o.Recovery = rk
+		pl := NewPlan[C](c, n, o)
+		in := make([]C, pl.InBox().Count())
+		FillBox(in, pl.InBox(), pl.InOrder(), 1)
+
+		t0, t1 := 0.0, math.NaN()
+		if iters > 0 {
+			pl.Forward(in) // warmup
+			c.Barrier()
+			t0 = c.AllreduceFloat64("min", c.Now())
+			for i := 0; i < iters; i++ {
+				pl.Forward(in)
+			}
+			c.Barrier()
+			t1 = c.AllreduceFloat64("max", c.Now())
+		}
+
+		var relErr float64
+		if wantErr {
+			spec := pl.Forward(in)
+			specCopy := append([]C(nil), spec...)
+			back := pl.Backward(specCopy)
+			var errSq, normSq float64
+			for i := range in {
+				d := complex128(back[i]) - complex128(in[i])
+				errSq += real(d)*real(d) + imag(d)*imag(d)
+				v := complex128(in[i])
+				normSq += real(v)*real(v) + imag(v)*imag(v)
+			}
+			errSq = c.AllreduceFloat64("sum", errSq)
+			normSq = c.AllreduceFloat64("sum", normSq)
+			relErr = math.Sqrt(errSq) / math.Sqrt(normSq)
+		}
+		if c.Rank() == 0 {
+			res.ForwardTime = (t1 - t0) / float64(iters)
+			res.RelErr = relErr
+			res.Profile = pl.LastProfile()
+		}
+	})
+	if err != nil {
+		return res, out, err
+	}
+	res.Gflops = flops / res.ForwardTime / 1e9
+	res.Stats = out.Result.Stats
+	return res, out, nil
 }

@@ -12,6 +12,7 @@ package core
 import (
 	"repro/internal/compress"
 	"repro/internal/gpu"
+	recov "repro/internal/recover"
 )
 
 // Backend selects the all-to-all implementation used by the reshapes.
@@ -79,6 +80,14 @@ type Options struct {
 	// lets the harness reproduce the paper's 1024³ performance regime
 	// with laptop-sized arrays (see DESIGN.md). 0 or 1 disables scaling.
 	SimScale int
+	// Recovery attaches the crash-recovery runtime of this attempt (see
+	// internal/recover and docs/ROBUSTNESS.md): the plan checkpoints its
+	// pencil partition and healing ledgers after every completed reshape
+	// and, on a resumed attempt, skips the epochs the committed
+	// checkpoint already covers. nil (the default) disables epoch
+	// checkpointing entirely — the plan takes the exact pre-recovery
+	// code paths and its virtual times stay byte-identical.
+	Recovery *recov.Rank
 }
 
 func (o Options) withDefaults() Options {

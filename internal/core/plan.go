@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 	"strconv"
 
@@ -39,6 +40,9 @@ type Plan[C fft.Complex] struct {
 	fftPlans [3]*fft.Plan[C]
 	batch    [3]int
 	precBits int
+	// epoch counts completed reshape steps across the plan's lifetime —
+	// the granularity of the crash-recovery checkpoints (Options.Recovery).
+	epoch int
 	// pencilScratch holds the PencilIO first-stage working copy.
 	pencilScratch []C
 	profile       Profile
@@ -228,19 +232,156 @@ func (pl *Plan[C]) run(in []C, sign int) []C {
 	data := in
 	if sign == fft.Forward {
 		for axis := 0; axis < 3; axis++ {
-			data = pl.fwd[axis].execute(data)
-			pl.fftStage(data, axis, sign)
+			data = pl.step(pl.fwd[axis], data, axis, sign)
 		}
-		return pl.fwd[3].execute(data)
+		return pl.step(pl.fwd[3], data, -1, sign)
 	}
 	for s := 0; s < 4; s++ {
-		data = pl.bwd[s].execute(data)
+		axis := -1
 		if s < 3 {
-			axis := 2 - s
-			pl.fftStage(data, axis, sign)
+			axis = 2 - s
 		}
+		data = pl.step(pl.bwd[s], data, axis, sign)
 	}
 	return data
+}
+
+// step runs one recovery epoch of the pipeline: the reshape, the FFT
+// stage that follows it (axis ≥ 0), and — when a recovery runtime is
+// attached — the epoch checkpoint. On a resumed attempt, epochs the
+// committed checkpoint covers are skipped entirely (no communication,
+// no kernels: every rank skips the same epochs, so the collectives
+// stay matched); the committed epoch itself re-materializes its output
+// and healing ledgers from the snapshot instead of executing.
+func (pl *Plan[C]) step(r *reshape[C], data []C, axis, sign int) []C {
+	pl.epoch++
+	rk := pl.opts.Recovery
+	if rk == nil {
+		data = r.execute(data)
+		if axis >= 0 {
+			pl.fftStage(data, axis, sign)
+		}
+		return data
+	}
+	if resume := rk.Resume(); pl.epoch <= resume {
+		if pl.epoch < resume {
+			return data // effects subsumed by the committed snapshot
+		}
+		snap, err := rk.Restore()
+		if err != nil {
+			panic(fmt.Sprintf("core: rank %d cannot restore epoch %d: %v", pl.c.Rank(), pl.epoch, err))
+		}
+		return pl.restoreSnapshot(r, snap)
+	}
+	data = r.execute(data)
+	if axis >= 0 {
+		pl.fftStage(data, axis, sign)
+	}
+	rk.Checkpoint(pl.epoch, pl.snapshot(data))
+	return data
+}
+
+// ledgers returns the plan's healing-capable exchanges in a fixed,
+// rank-independent order — the ledger sections of a snapshot.
+func (pl *Plan[C]) ledgers() []ledgered {
+	var out []ledgered
+	add := func(r *reshape[C]) {
+		if r == nil {
+			return
+		}
+		if r.osc != nil {
+			out = append(out, r.osc)
+		}
+		if r.cosc != nil {
+			out = append(out, r.cosc)
+		}
+	}
+	for _, r := range pl.fwd {
+		add(r)
+	}
+	for _, r := range pl.bwd {
+		add(r)
+	}
+	return out
+}
+
+// ledgered is the checkpointable part of an exchange (OSC and
+// CompressedOSC implement it).
+type ledgered interface {
+	LedgerState() []byte
+	RestoreLedger([]byte) error
+}
+
+// snapshot serializes this rank's recovery state after one completed
+// epoch: the reshape's output partition followed by every exchange's
+// healing ledger. The store CRC-frames the whole snapshot; this layout
+// only needs lengths.
+func (pl *Plan[C]) snapshot(data []C) []byte {
+	body := complexToBytes(data)
+	leds := pl.ledgers()
+	size := 8 + len(body)
+	states := make([][]byte, len(leds))
+	for i, l := range leds {
+		states[i] = l.LedgerState()
+		size += 4 + len(states[i])
+	}
+	buf := make([]byte, 0, size)
+	var w [4]byte
+	u32 := func(v int) {
+		binary.LittleEndian.PutUint32(w[:], uint32(v))
+		buf = append(buf, w[:]...)
+	}
+	u32(len(body))
+	buf = append(buf, body...)
+	u32(len(states))
+	for _, st := range states {
+		u32(len(st))
+		buf = append(buf, st...)
+	}
+	return buf
+}
+
+// restoreSnapshot installs a committed snapshot: the partition data
+// lands in the reshape's output buffer (the same buffer execute would
+// have returned) and every healing ledger rolls back to its
+// checkpointed decisions.
+func (pl *Plan[C]) restoreSnapshot(r *reshape[C], snap []byte) []C {
+	fail := func(msg string) {
+		panic(fmt.Sprintf("core: rank %d epoch %d: %s", pl.c.Rank(), pl.epoch, msg))
+	}
+	if len(snap) < 8 {
+		fail("snapshot truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(snap))
+	pos := 4
+	if n != len(r.outBuf)*pl.elemSize() || pos+n > len(snap) {
+		fail(fmt.Sprintf("snapshot holds %d data bytes, reshape needs %d", n, len(r.outBuf)*pl.elemSize()))
+	}
+	bytesToComplex(snap[pos:pos+n], r.outBuf)
+	pos += n
+	leds := pl.ledgers()
+	if pos+4 > len(snap) {
+		fail("snapshot truncated before ledgers")
+	}
+	if got := int(binary.LittleEndian.Uint32(snap[pos:])); got != len(leds) {
+		fail(fmt.Sprintf("snapshot holds %d ledgers, plan has %d", got, len(leds)))
+	}
+	pos += 4
+	for _, l := range leds {
+		if pos+4 > len(snap) {
+			fail("snapshot truncated in ledger section")
+		}
+		ln := int(binary.LittleEndian.Uint32(snap[pos:]))
+		pos += 4
+		if pos+ln > len(snap) {
+			fail("ledger overruns snapshot")
+		}
+		if err := l.RestoreLedger(snap[pos : pos+ln]); err != nil {
+			fail(err.Error())
+		}
+		pos += ln
+	}
+	return r.outBuf
 }
 
 // runPencil is the two-reshape pipeline: the first FFT stage runs
@@ -251,18 +392,14 @@ func (pl *Plan[C]) runPencil(in []C, sign int) []C {
 	if sign == fft.Forward {
 		data := append(pl.pencilScratch[:0], in...)
 		pl.fftStage(data, 0, sign)
-		data = pl.fwd[0].execute(data) // x → y pencils
-		pl.fftStage(data, 1, sign)
-		data = pl.fwd[1].execute(data) // y → z pencils
-		pl.fftStage(data, 2, sign)
+		data = pl.step(pl.fwd[0], data, 1, sign) // x → y pencils
+		data = pl.step(pl.fwd[1], data, 2, sign) // y → z pencils
 		return data
 	}
 	data := append(pl.pencilScratch[:0], in...)
 	pl.fftStage(data, 2, sign)
-	data = pl.bwd[0].execute(data) // z → y pencils
-	pl.fftStage(data, 1, sign)
-	data = pl.bwd[1].execute(data) // y → x pencils
-	pl.fftStage(data, 0, sign)
+	data = pl.step(pl.bwd[0], data, 1, sign) // z → y pencils
+	data = pl.step(pl.bwd[1], data, 0, sign) // y → x pencils
 	return data
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	recov "repro/internal/recover"
 )
 
 // Algorithms available to the bandwidth harness.
@@ -91,6 +92,112 @@ func NodeBandwidthWith(rec *obs.Recorder, cfg netsim.Config, algo string, msgByt
 	})
 	total := float64(iters) * float64(p) * float64(p) * float64(msgBytes)
 	return total / (end - start) / float64(cfg.Nodes)
+}
+
+// NodeBandwidthRecoverable is NodeBandwidthWith under the crash-recovery
+// runtime (docs/ROBUSTNESS.md): every iteration ends with an epoch
+// checkpoint carrying the exchange's healing ledger, and on a watchdog
+// crash verdict the controller rolls back, respawns, and resumes the
+// sweep instead of failing it. The bandwidth is computed over the
+// iterations the final attempt actually executed (replayed iterations
+// are restored, not re-run), so a recovered measurement stays
+// well-defined.
+func NodeBandwidthRecoverable(rec *obs.Recorder, cfg netsim.Config, algo string, msgBytes, iters int, pol recov.Policy) (float64, recov.Outcome, error) {
+	p := cfg.Ranks()
+	var start, end float64
+	var performed int
+	ct := &recov.Controller{Policy: pol}
+	out, err := ct.Run(cfg, rec, func(c *mpi.Comm, rk *recov.Rank) {
+		sizes := make([]int, p)
+		for i := range sizes {
+			sizes[i] = msgBytes
+		}
+		var osc *OSC
+		var cosc *CompressedOSC
+		var send [][]float64
+		switch algo {
+		case AlgoOSC:
+			osc = NewOSCPhantom(c, Uniform(msgBytes), true)
+		case AlgoOSCNaive:
+			osc = NewOSCPhantom(c, Uniform(msgBytes), false)
+		case AlgoOSCComp:
+			count := msgBytes / 8
+			if count < 1 {
+				count = 1
+			}
+			stream := gpu.NewStream(gpu.V100(), c)
+			stream.SetObserver(c.Obs())
+			cosc = NewCompressedOSC(c, compress.Cast32{}, stream, 4, UniformCount(count))
+			cosc.SetLabel("bench")
+			send = benchPayload(c.Rank(), p, count)
+		}
+		run := func() {
+			switch algo {
+			case AlgoLinear:
+				LinearAlltoallvN(c, sizes)
+			case AlgoPairwise:
+				PairwiseAlltoallvN(c, sizes)
+			case AlgoBruck:
+				BruckAlltoallN(c, msgBytes)
+			case AlgoOSC, AlgoOSCNaive:
+				osc.ExchangeN()
+			case AlgoOSCComp:
+				cosc.Exchange(send)
+			default:
+				panic(fmt.Sprintf("exchange: unknown algorithm %q", algo))
+			}
+		}
+		// One iteration = one recovery epoch: epochs the committed
+		// checkpoint covers are skipped (their ledger state is restored),
+		// the rest execute and checkpoint. myPerformed is rank-local (the
+		// bodies run concurrently under the parallel engine); rank 0
+		// publishes it after the closing barrier.
+		epoch, myPerformed := 0, 0
+		step := func(measured bool) {
+			epoch++
+			if resume := rk.Resume(); epoch <= resume {
+				if epoch == resume && cosc != nil {
+					snap, err := rk.Restore()
+					if err != nil {
+						panic(fmt.Sprintf("exchange: rank %d cannot restore epoch %d: %v", c.Rank(), epoch, err))
+					}
+					if err := cosc.RestoreLedger(snap); err != nil {
+						panic(fmt.Sprintf("exchange: rank %d epoch %d: %v", c.Rank(), epoch, err))
+					}
+				}
+				return
+			}
+			run()
+			if measured {
+				myPerformed++
+			}
+			var snap []byte
+			if cosc != nil {
+				snap = cosc.LedgerState()
+			}
+			rk.Checkpoint(epoch, snap)
+		}
+		step(false) // warmup
+		c.Barrier()
+		t0 := c.AllreduceFloat64("min", c.Now())
+		for i := 0; i < iters; i++ {
+			step(true)
+		}
+		c.Barrier()
+		t1 := c.AllreduceFloat64("max", c.Now())
+		if c.Rank() == 0 {
+			start, end = t0, t1
+			performed = myPerformed
+		}
+	})
+	if err != nil {
+		return 0, out, err
+	}
+	if performed == 0 || end <= start {
+		return 0, out, nil
+	}
+	total := float64(performed) * float64(p) * float64(p) * float64(msgBytes)
+	return total / (end - start) / float64(cfg.Nodes), out, nil
 }
 
 // benchPayload builds deterministic pseudo-data in (-1, 1) for every

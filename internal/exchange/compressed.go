@@ -202,6 +202,7 @@ func (x *CompressedOSC) Exchange(send [][]float64) [][]float64 {
 	// checksummed-and-retried transport. Sends never block, so this
 	// injects before any kernel is launched.
 	healing := x.heal.active()
+	x.heal.beginEpoch() // may re-enable demoted links whose probe is due
 	if healing {
 		for _, dst := range x.order {
 			if x.counts(dst, me) > 0 && x.heal.fellTo[dst] {
@@ -465,3 +466,15 @@ func (x *CompressedOSC) healEpoch(send [][]float64, damaged []bool) {
 // fallen-back slots arrive lossless (raw FP64), trading the compression
 // win for integrity. Always healthy without a fault plan.
 func (x *CompressedOSC) Health() Degradation { return x.heal.report() }
+
+// SetAdaptive installs a degradation policy (see AdaptivePolicy). All
+// ranks must install the same policy before the first Exchange.
+func (x *CompressedOSC) SetAdaptive(p AdaptivePolicy) { x.heal.setPolicy(p) }
+
+// LedgerState serializes the healing ledger (per-peer damage counters,
+// fallback flags, and re-promotion schedule) for an epoch checkpoint.
+func (x *CompressedOSC) LedgerState() []byte { return x.heal.state() }
+
+// RestoreLedger installs a checkpointed healing ledger, rolling the
+// degradation decisions back to the committed epoch.
+func (x *CompressedOSC) RestoreLedger(data []byte) error { return x.heal.restore(data) }

@@ -141,6 +141,199 @@ func TestCompressedOSCHealsToLossless(t *testing.T) {
 	}
 }
 
+func TestOSCRepromotesAfterCleanProbe(t *testing.T) {
+	// A demoted link whose damage has stopped must earn its one-sided
+	// path back: after the hysteresis wait the exchange probes the link
+	// and, finding the epoch clean, clears its damage ledger. The plan
+	// carries no active faults, so reliable mode is on but the probe is
+	// guaranteed clean — the demotion is installed by hand (symmetric on
+	// both endpoints, as the protocol produces it).
+	cfg := machine(1)
+	cfg.Faults = &netsim.FaultPlan{Seed: 15}
+	p := cfg.Ranks()
+	const msg = 128
+	_, err := mpi.RunChecked(cfg, func(c *mpi.Comm) {
+		me := c.Rank()
+		o := NewOSC(c, Uniform(msg), true)
+		h := o.heal
+		for d := 0; d < p; d++ {
+			if d == me {
+				continue
+			}
+			h.fellTo[d], h.failTo[d] = true, h.threshold
+			h.waitTo[d], h.probeTo[d] = h.repromote, h.repromote
+			h.fellFrom[d], h.failFrom[d] = true, h.threshold
+			h.waitFrom[d], h.probeFrom[d] = h.repromote, h.repromote
+		}
+		for iter := 0; iter <= h.repromote; iter++ {
+			send := make([][]byte, p)
+			for d := 0; d < p; d++ {
+				send[d] = payload(me+iter, d, msg)
+			}
+			got := o.Exchange(send)
+			for s := 0; s < p; s++ {
+				if !bytes.Equal(got[s], payload(s+iter, me, msg)) {
+					t.Errorf("iter %d rank %d from %d: corrupt", iter, me, s)
+				}
+			}
+		}
+		hd := o.Health()
+		if len(hd.Fallback) != 0 {
+			t.Errorf("rank %d still fallen back after clean probe: %v", me, hd.Fallback)
+		}
+		if want := int64(2 * (p - 1)); hd.Promotions != want {
+			t.Errorf("rank %d promotions %d, want %d", me, hd.Promotions, want)
+		}
+		for d := 0; d < p; d++ {
+			if d == me {
+				continue
+			}
+			if h.failTo[d] != 0 || h.failFrom[d] != 0 || h.probeTo[d] != 0 || h.probeFrom[d] != 0 {
+				t.Errorf("rank %d peer %d: ledger not cleared after promotion", me, d)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("run error: %v", err)
+	}
+}
+
+func TestOSCFailedProbeDoublesWait(t *testing.T) {
+	// Sustained corruption: the probe at epoch threshold+repromote finds
+	// the link still damaged, re-demotes it in the same epoch, and
+	// doubles the wait before the next probe (hysteresis) — all while
+	// every epoch's data, probe epochs included, stays bit-identical via
+	// repairs.
+	cfg := machine(1)
+	cfg.Faults = silentPlan(16)
+	p := cfg.Ranks()
+	const msg = 128
+	probeAt := DefaultFallbackAfter + DefaultRepromoteAfter // demote at 3, probe at 7
+	iters := probeAt + 1
+	_, err := mpi.RunChecked(cfg, func(c *mpi.Comm) {
+		me := c.Rank()
+		o := NewOSC(c, Uniform(msg), true)
+		for iter := 0; iter < iters; iter++ {
+			send := make([][]byte, p)
+			for d := 0; d < p; d++ {
+				send[d] = payload(me+iter, d, msg)
+			}
+			got := o.Exchange(send)
+			for s := 0; s < p; s++ {
+				if !bytes.Equal(got[s], payload(s+iter, me, msg)) {
+					t.Errorf("iter %d rank %d from %d: corrupt", iter, me, s)
+				}
+			}
+		}
+		h := o.heal
+		hd := o.Health()
+		if len(hd.Fallback) != p-1 {
+			t.Errorf("rank %d fallback peers %v, want all %d partners re-demoted", me, hd.Fallback, p-1)
+		}
+		if hd.Promotions != 0 {
+			t.Errorf("rank %d promoted %d links under certain corruption", me, hd.Promotions)
+		}
+		for d := 0; d < p; d++ {
+			if d == me {
+				continue
+			}
+			if want := 2 * DefaultRepromoteAfter; h.waitTo[d] != want {
+				t.Errorf("rank %d peer %d: probe wait %d, want doubled %d", me, d, h.waitTo[d], want)
+			}
+			if want := probeAt + 2*DefaultRepromoteAfter; h.probeTo[d] != want {
+				t.Errorf("rank %d peer %d: next probe at %d, want %d", me, d, h.probeTo[d], want)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("run error: %v", err)
+	}
+}
+
+func TestOSCOneWayFallbackWhenDisabled(t *testing.T) {
+	// RepromoteAfter < 0 restores the pre-hysteresis behavior: a demoted
+	// link never probes and never returns.
+	cfg := machine(1)
+	cfg.Faults = silentPlan(17)
+	p := cfg.Ranks()
+	const msg = 128
+	iters := DefaultFallbackAfter + DefaultRepromoteAfter + 2
+	_, err := mpi.RunChecked(cfg, func(c *mpi.Comm) {
+		me := c.Rank()
+		o := NewOSC(c, Uniform(msg), true)
+		o.SetAdaptive(AdaptivePolicy{RepromoteAfter: -1})
+		for iter := 0; iter < iters; iter++ {
+			send := make([][]byte, p)
+			for d := 0; d < p; d++ {
+				send[d] = payload(me+iter, d, msg)
+			}
+			o.Exchange(send)
+		}
+		h := o.heal
+		hd := o.Health()
+		if len(hd.Fallback) != p-1 || hd.Promotions != 0 {
+			t.Errorf("rank %d degradation %v, want permanent one-way fallback", me, hd)
+		}
+		for d := 0; d < p; d++ {
+			if h.probeTo[d] != 0 || h.probeFrom[d] != 0 {
+				t.Errorf("rank %d peer %d: probe scheduled with re-promotion disabled", me, d)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("run error: %v", err)
+	}
+}
+
+func TestHealerLedgerRoundTrip(t *testing.T) {
+	// The serialized ledger must restore every field that drives protocol
+	// decisions — checkpoint/rollback depends on it.
+	cfg := machine(1)
+	cfg.Faults = &netsim.FaultPlan{Seed: 18}
+	p := cfg.Ranks()
+	_, err := mpi.RunChecked(cfg, func(c *mpi.Comm) {
+		o := NewOSC(c, Uniform(64), true)
+		h := o.heal
+		h.epoch = 9
+		h.repairs, h.promotions = 5, 2
+		for d := 0; d < p; d++ {
+			h.failTo[d], h.failFrom[d] = d, d+1
+			h.fellTo[d], h.fellFrom[d] = d%2 == 0, d%3 == 0
+			h.probeTo[d], h.probeFrom[d] = 10+d, 20+d
+			h.waitTo[d], h.waitFrom[d] = 4+d, 8+d
+		}
+		state := o.LedgerState()
+
+		o2 := NewOSC(c, Uniform(64), true)
+		if err := o2.RestoreLedger(state); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		h2 := o2.heal
+		if h2.epoch != 9 || h2.repairs != 5 || h2.promotions != 2 {
+			t.Errorf("scalars not restored: epoch %d repairs %d promotions %d", h2.epoch, h2.repairs, h2.promotions)
+		}
+		for d := 0; d < p; d++ {
+			if h2.failTo[d] != h.failTo[d] || h2.failFrom[d] != h.failFrom[d] ||
+				h2.fellTo[d] != h.fellTo[d] || h2.fellFrom[d] != h.fellFrom[d] ||
+				h2.probeTo[d] != h.probeTo[d] || h2.probeFrom[d] != h.probeFrom[d] ||
+				h2.waitTo[d] != h.waitTo[d] || h2.waitFrom[d] != h.waitFrom[d] {
+				t.Errorf("peer %d ledger mismatch after round trip", d)
+			}
+		}
+		if err := o2.RestoreLedger(state[:len(state)-1]); err == nil {
+			t.Error("truncated ledger accepted")
+		}
+		bad := append([]byte(nil), state...)
+		bad[0] = 99 // version
+		if err := o2.RestoreLedger(bad); err == nil {
+			t.Error("wrong-version ledger accepted")
+		}
+	})
+	if err != nil {
+		t.Fatalf("run error: %v", err)
+	}
+}
+
 func TestHealingIdleWithoutFaults(t *testing.T) {
 	// Without a fault plan the healing layer must not run: no repairs,
 	// no fallback, and the exchange time identical to an exchange that

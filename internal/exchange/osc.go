@@ -107,6 +107,18 @@ func newOSC(c *mpi.Comm, size SizeFn, nodeAware, alloc bool) *OSC {
 // without a fault plan.
 func (o *OSC) Health() Degradation { return o.heal.report() }
 
+// SetAdaptive installs a degradation policy (see AdaptivePolicy). All
+// ranks must install the same policy before the first Exchange.
+func (o *OSC) SetAdaptive(p AdaptivePolicy) { o.heal.setPolicy(p) }
+
+// LedgerState serializes the healing ledger (per-peer damage counters,
+// fallback flags, and re-promotion schedule) for an epoch checkpoint.
+func (o *OSC) LedgerState() []byte { return o.heal.state() }
+
+// RestoreLedger installs a checkpointed healing ledger, rolling the
+// degradation decisions back to the committed epoch.
+func (o *OSC) RestoreLedger(data []byte) error { return o.heal.restore(data) }
+
 // Exchange performs the all-to-all: send[d] goes to rank d and must be
 // size(d, me) bytes. The result, indexed by source, aliases the window
 // buffer and is valid until the next Exchange.
@@ -116,6 +128,7 @@ func (o *OSC) Exchange(send [][]byte) [][]byte {
 	}
 	me := o.c.Rank()
 	healing := o.heal.active()
+	o.heal.beginEpoch() // may re-enable demoted links whose probe is due
 	pending := 0
 	flushAt := o.c.Now()
 	for _, dst := range o.order {

@@ -49,6 +49,12 @@ type Comm struct {
 	retry    netsim.RetryPolicy
 	sendSeq  map[seqKey]uint32
 	recvSeq  map[seqKey]uint32
+	// Watchdog forensics (reliable mode only): the virtual time of the
+	// last completed reliable operation and the frames discarded since
+	// (duplicates, stale epochs). FaultError carries both so a crash
+	// verdict can say where this rank last made progress.
+	progressT float64
+	discards  int
 }
 
 // Run starts one rank body per simulated GPU and returns the netsim
@@ -291,6 +297,7 @@ func (c *Comm) recvInternal(src, tag int) netsim.Packet {
 		if !ok {
 			panic(c.noteFault(&FaultError{Rank: c.Rank(), Src: src, Tag: tag, Kind: "timeout", Op: "collective", When: c.p.Now()}))
 		}
+		c.noteProgress()
 		return pkt
 	}
 	return c.p.Recv(src, tag)

@@ -49,24 +49,53 @@ type FaultError struct {
 	Kind string  // "timeout", "lost", or "corrupt"
 	Op   string  // "recv", "collective", or "fence"
 	When float64 // virtual time of detection
+
+	// Crash-forensics detail (docs/ROBUSTNESS.md): the virtual time of
+	// this rank's last completed reliable operation before the fault (0
+	// when it never made progress), the peers the failed operation was
+	// still owed data from, and the delivery attempts consumed while
+	// waiting (duplicate or stale frames discarded since last progress).
+	// Recovery reports use these to say where a run died, not just that
+	// it died.
+	LastProgress float64
+	Outstanding  []int
+	Retries      int
 }
 
 func (e *FaultError) Error() string {
-	return fmt.Sprintf("mpi: rank %d %s %s from rank %d (tag %d) at t=%.3gs",
+	s := fmt.Sprintf("mpi: rank %d %s %s from rank %d (tag %d) at t=%.3gs",
 		e.Rank, e.Op, e.Kind, e.Src, e.Tag, e.When)
+	if e.LastProgress > 0 || len(e.Outstanding) > 1 || e.Retries > 0 {
+		s += fmt.Sprintf(" [last progress t=%.3gs, outstanding peers %v, %d frames discarded]",
+			e.LastProgress, e.Outstanding, e.Retries)
+	}
+	return s
 }
 
-// noteFault emits the detection of a fault that survived transport
-// recovery into the live event stream (when one is attached) and
+// noteFault stamps the error with the rank's progress forensics, emits
+// the detection into the live event stream (when one is attached), and
 // returns the error for the caller to panic with. Label is the fault
 // kind prefixed with "detected_" to keep it distinct from the
 // injection-side events the engine's FaultObserver emits.
 func (c *Comm) noteFault(e *FaultError) *FaultError {
+	e.LastProgress = c.progressT
+	e.Retries = c.discards
+	if e.Outstanding == nil && e.Src >= 0 {
+		e.Outstanding = []int{e.Src}
+	}
 	c.obs.Emit(obs.Event{
 		T: e.When, Kind: obs.EventFault, Label: "detected_" + e.Kind,
 		Peer: e.Src, Msg: e.Op,
 	})
 	return e
+}
+
+// noteProgress records a completed reliable operation: the watchdog
+// forensics baseline advances and the discard tally resets. Called only
+// on reliable paths, so fault-free runs never touch the fields.
+func (c *Comm) noteProgress() {
+	c.progressT = c.p.Now()
+	c.discards = 0
 }
 
 // frame wraps data in the two-sided reliable header. The checksum
@@ -178,12 +207,14 @@ func (c *Comm) recvReliable(src, tag int) netsim.Packet {
 			panic(c.noteFault(&FaultError{Rank: c.Rank(), Src: src, Tag: tag, Kind: "corrupt", Op: "recv", When: c.p.Now()}))
 		}
 		if seq < want {
+			c.discards++
 			continue // duplicate delivery of an already-consumed message
 		}
 		if seq > want {
 			panic(c.noteFault(&FaultError{Rank: c.Rank(), Src: src, Tag: tag, Kind: "lost", Op: "recv", When: c.p.Now()}))
 		}
 		c.recvSeq[k] = want + 1
+		c.noteProgress()
 		pkt.Payload = data
 		return pkt
 	}

@@ -120,7 +120,9 @@ func (w *Win) Fence(expected []int) {
 			src = rep.Missing[0]
 			kind = "lost"
 		}
-		panic(w.c.noteFault(&FaultError{Rank: w.c.Rank(), Src: src, Tag: w.tag, Kind: kind, Op: "fence", When: w.c.Now()}))
+		outstanding := append(append([]int(nil), rep.Corrupt...), rep.Missing...)
+		panic(w.c.noteFault(&FaultError{Rank: w.c.Rank(), Src: src, Tag: w.tag, Kind: kind, Op: "fence",
+			When: w.c.Now(), Outstanding: outstanding}))
 	}
 }
 
@@ -224,6 +226,7 @@ func (w *Win) drainReliable(src, cnt int, latest *float64, drained *int64) (corr
 			continue
 		}
 		if e != epoch {
+			w.c.discards++
 			continue // stale duplicate of an earlier epoch
 		}
 		if int(idx) >= cnt {
@@ -232,10 +235,12 @@ func (w *Win) drainReliable(src, cnt int, latest *float64, drained *int64) (corr
 			continue
 		}
 		if seen[idx] {
+			w.c.discards++
 			continue // duplicate delivery within this epoch
 		}
 		seen[idx] = true
 		got++
+		w.c.noteProgress()
 		*drained += int64(pkt.Bytes)
 		if data != nil {
 			if pkt.Meta < 0 || pkt.Meta+len(data) > len(w.buf) {

@@ -109,6 +109,13 @@ type FaultPlan struct {
 	CrashRank int
 	CrashAt   float64
 
+	// CrashSchedule lists additional crashes beyond CrashRank/CrashAt.
+	// The recovery controller (internal/recover) uses multi-crash plans
+	// to exercise crash-during-recovery double faults: entries whose time
+	// falls after a restart's resume point are still armed on the next
+	// attempt.
+	CrashSchedule []CrashSpec
+
 	// Retry overrides the transport retry/watchdog policy (zero fields
 	// take defaults).
 	Retry RetryPolicy
@@ -266,7 +273,55 @@ func (in *injector) duplicate() bool {
 
 // crashed reports whether rank must be parked at time now.
 func (in *injector) crashed(rank int, now float64) bool {
-	return in.plan.CrashAt > 0 && in.plan.CrashRank == rank && now >= in.plan.CrashAt
+	if in.plan.CrashAt > 0 && in.plan.CrashRank == rank && now >= in.plan.CrashAt {
+		return true
+	}
+	for _, cs := range in.plan.CrashSchedule {
+		if cs.At > 0 && cs.Rank == rank && now >= cs.At {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashSpec schedules one permanent rank crash at a virtual time (see
+// FaultPlan.CrashSchedule). The zero value injects nothing.
+type CrashSpec struct {
+	Rank int
+	At   float64
+}
+
+// Crashes returns every enabled crash of the plan (the legacy
+// CrashRank/CrashAt pair plus the schedule), sorted by time.
+func (p *FaultPlan) Crashes() []CrashSpec {
+	var out []CrashSpec
+	if p.CrashAt > 0 {
+		out = append(out, CrashSpec{Rank: p.CrashRank, At: p.CrashAt})
+	}
+	for _, cs := range p.CrashSchedule {
+		if cs.At > 0 {
+			out = append(out, cs)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// WithCrashesAfter returns a copy of the plan keeping only the crashes
+// strictly later than t — what remains armed after a recovery rolled the
+// pipeline back past the crashes already absorbed. The copy's RNG seed
+// is left untouched; the caller reseeds per attempt if it wants fresh
+// (still deterministic) transport noise.
+func (p *FaultPlan) WithCrashesAfter(t float64) *FaultPlan {
+	q := *p
+	q.CrashRank, q.CrashAt = 0, 0
+	q.CrashSchedule = nil
+	for _, cs := range p.Crashes() {
+		if cs.At > t {
+			q.CrashSchedule = append(q.CrashSchedule, cs)
+		}
+	}
+	return &q
 }
 
 // RandomPlan derives a complete fault plan from one seed, cycling
@@ -335,6 +390,11 @@ func (p *FaultPlan) Scenario() string {
 	}
 	if p.CrashAt > 0 {
 		parts = append(parts, fmt.Sprintf("crash-rank%d", p.CrashRank))
+	}
+	for _, cs := range p.CrashSchedule {
+		if cs.At > 0 {
+			parts = append(parts, fmt.Sprintf("crash-rank%d", cs.Rank))
+		}
 	}
 	if len(parts) == 0 {
 		return "none"

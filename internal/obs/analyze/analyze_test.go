@@ -267,6 +267,42 @@ func TestDiffGate(t *testing.T) {
 	if d := analyze.Diff(base, &retried, 0.10); d.Regressed() {
 		t.Errorf("retry-only row failed the gate: %+v", d)
 	}
+
+	// Rollbacks/restarts are recovery work: a recovered measurement is
+	// not comparable to a fault-free baseline.
+	recovered := *base
+	recovered.Rows = append([]analyze.Row(nil), base.Rows...)
+	recovered.Rows[2].Faults = &analyze.FaultRow{Crashes: 1, Rollbacks: 1, Restarts: 1, MTTRSeconds: 0.02}
+	d = analyze.Diff(base, &recovered, 0.10)
+	if !d.Regressed() || len(d.Degraded) != 1 {
+		t.Errorf("recovered row not flagged: %+v", d)
+	}
+
+	// Checkpoint overhead appearing inside the measured window degrades
+	// the row even with no crash: the baseline never paid it.
+	ckpt := *base
+	ckpt.Rows = append([]analyze.Row(nil), base.Rows...)
+	ckpt.Rows[2].Faults = &analyze.FaultRow{Checkpoints: 4, CheckpointBytes: 4096}
+	d = analyze.Diff(base, &ckpt, 0.10)
+	if !d.Regressed() || len(d.Degraded) != 1 || d.Degraded[0] != "osc/24 [checkpoint overhead appeared]" {
+		t.Errorf("checkpoint-overhead row not flagged: %+v", d)
+	}
+
+	// Both sides checkpointing: comparable, and MTTR is threshold-gated
+	// like any lower-is-better metric.
+	ckptBase := *base
+	ckptBase.Rows = append([]analyze.Row(nil), base.Rows...)
+	ckptBase.Rows[2].Faults = &analyze.FaultRow{Checkpoints: 4, CheckpointBytes: 4096, MTTRSeconds: 0.01}
+	ckptNew := *base
+	ckptNew.Rows = append([]analyze.Row(nil), base.Rows...)
+	ckptNew.Rows[2].Faults = &analyze.FaultRow{Checkpoints: 4, CheckpointBytes: 4096, MTTRSeconds: 0.02}
+	d = analyze.Diff(&ckptBase, &ckptNew, 0.10)
+	if !d.Regressed() || len(d.Regressions) != 1 || d.Regressions[0].Metric != "mttr_seconds" {
+		t.Errorf("MTTR doubling passed the gate: %+v", d)
+	}
+	if d := analyze.Diff(&ckptBase, &ckptBase, 0.10); d.Regressed() {
+		t.Errorf("identical checkpointing artifacts regressed: %+v", d)
+	}
 }
 
 // TestDiffErrorGate pins the errtrack columns of the bench gate: per-

@@ -143,12 +143,21 @@ type FaultRow struct {
 	Crashes         int64 `json:"crashes,omitempty"`
 	Repairs         int64 `json:"repairs,omitempty"`
 	FallbackPeers   int64 `json:"fallback_peers,omitempty"`
+	// Crash-recovery ledger (docs/ROBUSTNESS.md): checkpoint volume paid
+	// and rollbacks/restarts absorbed while earning the row's numbers.
+	Checkpoints     int64   `json:"checkpoints,omitempty"`
+	CheckpointBytes int64   `json:"checkpoint_bytes,omitempty"`
+	Rollbacks       int64   `json:"rollbacks,omitempty"`
+	Restarts        int64   `json:"restarts,omitempty"`
+	MTTRSeconds     float64 `json:"mttr_seconds,omitempty"`
 }
 
 // Degraded reports whether the row left the fast path: recovery work
-// beyond transparent transport retries.
+// beyond transparent transport retries (including rollback/respawn —
+// a recovered measurement is not comparable to a fault-free baseline).
 func (f *FaultRow) Degraded() bool {
-	return f != nil && (f.Lost > 0 || f.Crashes > 0 || f.Repairs > 0 || f.FallbackPeers > 0)
+	return f != nil && (f.Lost > 0 || f.Crashes > 0 || f.Repairs > 0 || f.FallbackPeers > 0 ||
+		f.Rollbacks > 0 || f.Restarts > 0)
 }
 
 // FaultRowFrom extracts the fault counters of a run's metric registry;
@@ -167,6 +176,13 @@ func FaultRowFrom(m *obs.Metrics) *FaultRow {
 		Crashes:         s.Counters["fault/crashes"],
 		Repairs:         s.Counters["exchange/repairs"],
 		FallbackPeers:   s.Counters["exchange/fallback_peers"],
+		Checkpoints:     s.Counters["recovery/checkpoints"],
+		CheckpointBytes: s.Counters["recovery/checkpoint_bytes"],
+		Rollbacks:       s.Counters["recovery/rollbacks"],
+		Restarts:        s.Counters["recovery/restarts"],
+	}
+	if h, ok := s.Hists["recovery/mttr_s"]; ok {
+		f.MTTRSeconds = h.Sum
 	}
 	if f == (FaultRow{}) {
 		return nil

@@ -29,9 +29,11 @@ type DiffResult struct {
 	Missing []string
 	Added   []string
 	// Degraded lists new rows measured on a degraded path (lost
-	// messages, crashes, self-healing repairs, or per-peer fallback)
-	// when their baseline was not: those numbers are not comparable to
-	// the fast path the baseline recorded, so the gate fails.
+	// messages, crashes, self-healing repairs, per-peer fallback, or
+	// recovery rollbacks/restarts) when their baseline was not, plus
+	// rows that newly pay checkpoint overhead inside the measured
+	// window: those numbers are not comparable to the fast path the
+	// baseline recorded, so the gate fails.
 	Degraded []string
 	// OverBudget lists stages of the new artifact whose measured error
 	// exceeds the theoretical bound, or that saw poisoned (non-finite)
@@ -99,8 +101,18 @@ func Diff(oldA, newA *Artifact, threshold float64) DiffResult {
 				compare("err/"+e.Label, oe.WorstRel, e.WorstRel, true)
 			}
 		}
-		if nr.Faults.Degraded() && !or.Faults.Degraded() {
+		switch {
+		case nr.Faults.Degraded() && !or.Faults.Degraded():
 			d.Degraded = append(d.Degraded, rowName(nr))
+		case nr.Faults != nil && nr.Faults.CheckpointBytes > 0 &&
+			(or.Faults == nil || or.Faults.CheckpointBytes == 0):
+			// Checkpointing pays write bandwidth inside the measured
+			// window; a row that newly carries that overhead is not
+			// comparable to its checkpoint-free baseline.
+			d.Degraded = append(d.Degraded, rowName(nr)+" [checkpoint overhead appeared]")
+		}
+		if or.Faults != nil && nr.Faults != nil {
+			compare("mttr_seconds", or.Faults.MTTRSeconds, nr.Faults.MTTRSeconds, true)
 		}
 	}
 	for _, r := range newA.Rows {
@@ -134,7 +146,7 @@ func (d DiffResult) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "REGRESSION %-24s missing from new artifact\n", m)
 	}
 	for _, g := range d.Degraded {
-		fmt.Fprintf(w, "DEGRADED   %-24s measured on a degraded path (repairs/fallback/losses); not comparable to baseline\n", g)
+		fmt.Fprintf(w, "DEGRADED   %-24s measured on a degraded path (repairs/fallback/losses/rollbacks); not comparable to baseline\n", g)
 	}
 	for _, o := range d.OverBudget {
 		fmt.Fprintf(w, "OVERBUDGET %s\n", o)

@@ -24,6 +24,14 @@ const (
 	// and MaxAbs/RMS/N the block-level error statistics. The errtrack
 	// layer aggregates these into the provenance ledger.
 	EventErrAttr = "error_attribution"
+	// EventRecovery marks one transition of the crash-recovery protocol
+	// (internal/recover) or of the exchange re-promotion hysteresis. Label
+	// carries the transition ("checkpoint", "commit", "crash_verdict",
+	// "rollback", "respawn", "resume", "give_up", "probe", "repromote");
+	// Value the epoch involved (-1 when none), and Msg the diagnostic.
+	// Replays validate the sequencing: a resume of epoch e must follow a
+	// commit of epoch e.
+	EventRecovery = "recovery"
 	// EventEnd is the end-of-stream marker a session emits as its very
 	// last event before closing the JSONL sink; Value carries the final
 	// sequence number so replays can prove the stream arrived whole.

@@ -36,6 +36,11 @@ const (
 	// share is the Label stage's fraction of the window total. "reshape 2
 	// consumes ≤40% of the error budget" is {label: "fwd2", target: 0.4}.
 	KindBudgetShare = "budget_share"
+	// KindRecovery counts crash-recovery transitions (event kind
+	// "recovery"); restrict with Label to a single transition ("rollback",
+	// "give_up", ...). "at most 2 rollbacks per run" is {kind: "recovery",
+	// label: "rollback", max_count: 2}.
+	KindRecovery = "recovery"
 	// KindDrift watches achieved error drifting over epochs: it consumes
 	// per-epoch achieved-error events and burns at ratio/Target, where
 	// ratio is the late half of the window's mean error over the early
@@ -91,6 +96,8 @@ func (o *Objective) eventKind() string {
 		return obs.EventFallback
 	case KindFault:
 		return obs.EventFault
+	case KindRecovery:
+		return obs.EventRecovery
 	case KindBudgetShare:
 		return obs.EventErrAttr
 	case KindDrift:
