@@ -1,6 +1,6 @@
 # Convenience targets; the repo needs only the Go toolchain.
 
-.PHONY: build test lint verify verify-parallel trace-demo telemetry-demo errmap-demo bench benchdiff chaos chaos-race chaos-recovery clean
+.PHONY: build test lint verify verify-parallel trace-demo telemetry-demo errmap-demo tune-demo bench benchdiff chaos chaos-race chaos-recovery clean
 
 build:
 	go build ./...
@@ -9,14 +9,18 @@ test:
 	go test ./...
 
 # verify is the tier-1 recipe from ROADMAP.md: full build + tests, vet,
-# the race detector over every package (rank bodies execute truly
-# concurrently when the parallel engine is on, so all of them must be
-# race-clean), the fixed-seed determinism smoke proving the parallel
-# engine bit-identical to the sequential one, and fixed-seed chaos
-# sweeps — one per engine mode, plus one under the race detector.
+# a shuffled-order test pass (no test may depend on package test order;
+# the shuffle seed is echoed by the test binary on failure, rerun with
+# go test -shuffle=<seed>), the race detector over every package (rank
+# bodies execute truly concurrently when the parallel engine is on, so
+# all of them must be race-clean), the fixed-seed determinism smoke
+# proving the parallel engine bit-identical to the sequential one, and
+# fixed-seed chaos sweeps — one per engine mode, plus one under the
+# race detector.
 verify:
 	go build ./...
 	go test ./...
+	go test -shuffle=on ./...
 	$(MAKE) lint
 	go test -race ./...
 	go test -run TestParallelEquivalenceSmoke ./internal/exchange/
@@ -26,6 +30,7 @@ verify:
 	$(MAKE) chaos-recovery
 	$(MAKE) telemetry-demo
 	$(MAKE) errmap-demo
+	$(MAKE) tune-demo
 
 # lint: formatting and static analysis. gofmt must report nothing,
 # go vet must be clean, and staticcheck runs when installed (the repo
@@ -123,6 +128,26 @@ errmap-demo:
 	cmp $(TMP)/v-replay.txt $(TMP)/v-artifact.txt
 	rm -rf $(TMP)
 	@echo "errmap-demo: replay and artifact derive identical verdicts"
+
+# tune-demo exercises the full autotuner loop (docs/TUNING.md): tune the
+# baseline FFT and all-to-all shapes with -autotune, gate the tuned
+# artifacts against the committed fixed-config baselines (benchdiff's
+# tuned-vs-best-fixed gate), then reload the saved plan and prove the
+# replay reproduces the autotuned run bit-identically — the artifacts
+# must be byte-identical apart from the autotune config flag, which the
+# diff gate sees as zero rows changed. Part of `make verify`.
+tune-demo:
+	$(eval TMP := $(shell mktemp -d))
+	go run ./cmd/fftbench $(BENCH_FFT_FLAGS) -autotune -tuneplan $(TMP)/fft.tuneplan.json \
+		-json $(TMP)/fft-tuned.json > /dev/null
+	go run ./cmd/benchdiff BENCH_fft.json $(TMP)/fft-tuned.json
+	go run ./cmd/fftbench $(BENCH_FFT_FLAGS) -tuneplan $(TMP)/fft.tuneplan.json \
+		-json $(TMP)/fft-replay.json > /dev/null
+	go run ./cmd/benchdiff $(TMP)/fft-tuned.json $(TMP)/fft-replay.json
+	go run ./cmd/alltoallbench $(BENCH_A2A_FLAGS) -autotune -json $(TMP)/alltoall-tuned.json > /dev/null
+	go run ./cmd/benchdiff BENCH_alltoall.json $(TMP)/alltoall-tuned.json
+	rm -rf $(TMP)
+	@echo "tune-demo: tuned artifacts gate green, plan replay reproduces the tuned run"
 
 # The committed bench baselines. Small deterministic configurations —
 # all times are virtual, so the artifacts are bit-identical across

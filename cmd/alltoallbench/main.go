@@ -28,7 +28,44 @@ import (
 	"repro/internal/obs/telemetry"
 	"repro/internal/plot"
 	recov "repro/internal/recover"
+	"repro/internal/tune"
 )
+
+// tuningRows serializes the tuned cell's decision record with the run's
+// measured per-exchange seconds, publishing the decision and the
+// predicted-vs-measured gap as metrics on the run's registry.
+func tuningRows(cell *tune.Cell, measured float64, m *obs.Metrics) []analyze.TuningRow {
+	out := make([]analyze.TuningRow, 0, len(cell.Stages))
+	for _, st := range cell.Stages {
+		tr := analyze.TuningRow{
+			Label: st.Label, Algo: st.Algo, Chunks: st.Chunks, Method: st.Method,
+			PredictedS: st.PredictedS, ProbedS: st.ProbedS, Candidates: st.Candidates,
+			MeasuredS: measured,
+		}
+		if st.PredictedS > 0 && measured > 0 {
+			tr.Gap = measured / st.PredictedS
+		}
+		m.Set("tune/"+st.Label+"/predicted_s", st.PredictedS)
+		if tr.Gap > 0 {
+			m.Set("tune/"+st.Label+"/gap", tr.Gap)
+		}
+		m.Add("tune/candidates", int64(st.Candidates))
+		out = append(out, tr)
+	}
+	return out
+}
+
+// describeChoice formats one tuned stage for the console summary.
+func describeChoice(st tune.Choice) string {
+	s := st.Algo
+	if st.Method != "" {
+		s += "/" + st.Method
+	}
+	if st.Chunks > 0 && st.Algo == string(tune.CompressedOSC) {
+		s += fmt.Sprintf("/c%d", st.Chunks)
+	}
+	return s
+}
 
 func main() {
 	msg := flag.Int("msg", 80*1024, "message size per process pair in bytes")
@@ -42,6 +79,10 @@ func main() {
 	faultsFlag := flag.Int64("faults", 0, "inject the seeded fault plan netsim.RandomPlan(seed); 0 disables (docs/ROBUSTNESS.md)")
 	recoverFlag := flag.Bool("recover", false, "run under the crash-recovery runtime: epoch checkpoints + rollback/respawn on crash verdicts (docs/ROBUSTNESS.md)")
 	parallelFlag := flag.Bool("parallel", false, "run the simulator's parallel engine (bit-identical results; docs/DETERMINISM.md)")
+	autotuneFlag := flag.Bool("autotune", false, "tune the exchange per machine and add a 'tuned' algorithm (docs/TUNING.md)")
+	tuneTolFlag := flag.Float64("tunetol", 1e-3, "error budget for the autotuner's compressed candidates")
+	tunePlanFlag := flag.String("tuneplan", "", "tune-plan file: written with -autotune, otherwise loaded and replayed")
+	tuneProbeFlag := flag.Int("tuneprobe", 2, "probe the best K predicted candidates with short simulation runs (0 = predictor only)")
 	tf := telemetry.RegisterFlags(nil)
 	flag.Parse()
 
@@ -66,6 +107,25 @@ func main() {
 		os.Exit(1)
 	}
 	algos := strings.Split(*algosFlag, ",")
+	// Tuning modes: -autotune computes a plan (and saves it to -tuneplan
+	// when given); -tuneplan alone loads a saved plan and replays its
+	// decisions. Either adds the "tuned" column to the table.
+	var planIn, planOut *tune.Plan
+	if *tunePlanFlag != "" && !*autotuneFlag {
+		p, err := tune.Load(*tunePlanFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alltoallbench:", err)
+			os.Exit(1)
+		}
+		planIn = p
+	}
+	if *autotuneFlag {
+		planOut = tune.NewPlan(*tuneTolFlag)
+	}
+	tuning := *autotuneFlag || planIn != nil
+	if tuning {
+		algos = append(algos, "tuned")
+	}
 
 	fmt.Printf("# Fig. 3 — average node bandwidth (GB/s), %d KB per pair\n", *msg/1024)
 	fmt.Printf("%8s", "GPUs")
@@ -93,6 +153,12 @@ func main() {
 	if *recoverFlag {
 		artifact.Config["recover"] = "1"
 	}
+	if tuning {
+		artifact.Config["tunetol"] = fmt.Sprint(*tuneTolFlag)
+		if *autotuneFlag {
+			artifact.Config["autotune"] = "1"
+		}
+	}
 	// recorders keeps the last measured cell's recorder per algorithm so
 	// achieved compression can be reported after the table.
 	recorders := make([]*obs.Recorder, len(algos))
@@ -103,6 +169,44 @@ func main() {
 			fmt.Fprintf(os.Stderr, "alltoallbench: skipping %d GPUs (not a multiple of 6)\n", g)
 			continue
 		}
+		machine := netsim.Summit(g / 6)
+		machine.Parallel = *parallelFlag
+		if *faultsFlag != 0 {
+			machine.Faults = netsim.RandomPlan(*faultsFlag)
+		}
+		// Resolve this machine's tuned cell: compute it (-autotune) or
+		// look it up in the loaded plan. The tuner strips the fault plan
+		// itself, so the cell is identical with or without -faults.
+		var tunedCell *tune.Cell
+		var tunedSpec exchange.Spec
+		if tuning {
+			if *autotuneFlag {
+				cell, terr := tune.Alltoall(machine, *msg,
+					tune.Space{Budget: *tuneTolFlag, ProbeTopK: *tuneProbeFlag})
+				if terr != nil {
+					fmt.Fprintln(os.Stderr, "alltoallbench:", terr)
+					os.Exit(1)
+				}
+				tunedCell = cell
+				if _, dup := planOut.Cell(cell.Machine, cell.Shape); !dup {
+					planOut.Cells = append(planOut.Cells, *cell)
+				}
+			} else {
+				cell, ok := planIn.Cell(tune.Fingerprint(machine), tune.AlltoallShape(*msg))
+				if !ok {
+					fmt.Fprintf(os.Stderr, "alltoallbench: %s holds no cell for this machine/shape (%d GPUs)\n", *tunePlanFlag, g)
+					os.Exit(1)
+				}
+				tunedCell = cell
+			}
+			sp, serr := tunedCell.BenchSpec()
+			if serr != nil {
+				fmt.Fprintln(os.Stderr, "alltoallbench:", serr)
+				os.Exit(1)
+			}
+			tunedSpec = sp
+			fmt.Printf("# tuned @ %d GPUs: %s\n", g, describeChoice(tunedCell.Stages[0]))
+		}
 		fmt.Printf("%8d", g)
 		labels = append(labels, fmt.Sprint(g))
 		for i, a := range algos {
@@ -110,16 +214,15 @@ func main() {
 			cell := fmt.Sprintf("%s/%dgpus", a, g)
 			tel.StartRun(cell)
 			tel.Attach(rec)
-			machine := netsim.Summit(g / 6)
-			machine.Parallel = *parallelFlag
-			if *faultsFlag != 0 {
-				machine.Faults = netsim.RandomPlan(*faultsFlag)
+			spec := exchange.Spec{Algo: a}
+			if a == "tuned" {
+				spec = tunedSpec
 			}
 			var bw float64
 			if *recoverFlag {
 				var out recov.Outcome
 				var rerr error
-				bw, out, rerr = exchange.NodeBandwidthRecoverable(rec, machine, a, *msg, *iters, recov.Policy{Seed: *faultsFlag})
+				bw, out, rerr = exchange.NodeBandwidthRecoverableSpec(rec, machine, spec, *msg, *iters, recov.Policy{Seed: *faultsFlag})
 				if rerr != nil {
 					fmt.Fprintf(os.Stderr, "alltoallbench: %s: %v\n", cell, rerr)
 					os.Exit(1)
@@ -128,7 +231,7 @@ func main() {
 					fmt.Fprintf(os.Stderr, "# %s: recovered %d crash(es), MTTR %.3gs\n", cell, len(out.Recoveries), out.MTTRSeconds)
 				}
 			} else {
-				bw = exchange.NodeBandwidthWith(rec, machine, a, *msg, *iters)
+				bw = exchange.NodeBandwidthSpec(rec, machine, spec, *msg, *iters)
 			}
 			recorders[i] = rec
 			lastRec = rec
@@ -141,6 +244,13 @@ func main() {
 					Compression: analyze.CompressionRows(rec.Metrics().CompressionStats()),
 					Faults:      analyze.FaultRowFrom(rec.Metrics()),
 					Errors:      analyze.ErrorRows(tel.Tracker(), cell),
+				}
+				if a == "tuned" && bw > 0 {
+					// Seconds per exchange, inverted back out of the
+					// bandwidth the harness reports.
+					p := machine.Ranks()
+					measured := float64(p) * float64(p) * float64(*msg) / (bw * float64(machine.Nodes))
+					row.Tuning = tuningRows(tunedCell, measured, rec.Metrics())
 				}
 				s := analyze.Summarize(analyze.FromRecorder(rec), 0)
 				row.Analysis = &s
@@ -189,6 +299,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("# bench artifact written: %s (%d rows)\n", *jsonFlag, len(artifact.Rows))
+	}
+	if *autotuneFlag && *tunePlanFlag != "" {
+		if err := planOut.Save(*tunePlanFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "alltoallbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# tune plan written: %s (%d cells)\n", *tunePlanFlag, len(planOut.Cells))
 	}
 	if *doPlot {
 		fmt.Println()

@@ -39,6 +39,7 @@ import (
 	"repro/internal/obs/telemetry"
 	"repro/internal/plot"
 	recov "repro/internal/recover"
+	"repro/internal/tune"
 )
 
 // config pairs a named pipeline configuration with the options that
@@ -103,6 +104,44 @@ func configByName(name string) (config, bool) {
 	return config{}, false
 }
 
+// tuningRows pairs each tuned stage's decision record with the run's
+// measured exchange-time histogram, and publishes the decision and the
+// predicted-vs-measured gap as metrics on the run's recorder.
+func tuningRows(cell *tune.Cell, rec *obs.Recorder) []analyze.TuningRow {
+	out := make([]analyze.TuningRow, 0, len(cell.Stages))
+	for _, st := range cell.Stages {
+		tr := analyze.TuningRow{
+			Label: st.Label, Algo: st.Algo, Chunks: st.Chunks, Method: st.Method,
+			PredictedS: st.PredictedS, ProbedS: st.ProbedS, Candidates: st.Candidates,
+		}
+		if h, ok := rec.Metrics().Hist("exchange/" + st.Label + "/time_s"); ok && h.Count > 0 {
+			tr.MeasuredS = h.Mean()
+			if st.PredictedS > 0 {
+				tr.Gap = tr.MeasuredS / st.PredictedS
+			}
+		}
+		rec.Metrics().Set("tune/"+st.Label+"/predicted_s", st.PredictedS)
+		if tr.Gap > 0 {
+			rec.Metrics().Set("tune/"+st.Label+"/gap", tr.Gap)
+		}
+		rec.Metrics().Add("tune/candidates", int64(st.Candidates))
+		out = append(out, tr)
+	}
+	return out
+}
+
+// describeChoice formats one tuned stage for the console summary.
+func describeChoice(st tune.Choice) string {
+	s := st.Algo
+	if st.Method != "" {
+		s += "/" + st.Method
+	}
+	if st.Chunks > 0 && st.Algo == string(tune.CompressedOSC) {
+		s += fmt.Sprintf("/c%d", st.Chunks)
+	}
+	return s
+}
+
 // modelDeltas pairs the cost model's per-reshape prediction with the
 // measured exchange-time histograms of the run.
 func modelDeltas(rec *obs.Recorder, machine netsim.Config, n [3]int, c config, simScale int) []analyze.ModelDelta {
@@ -134,6 +173,10 @@ func main() {
 	faultsFlag := flag.Int64("faults", 0, "inject the seeded fault plan netsim.RandomPlan(seed); 0 disables (docs/ROBUSTNESS.md)")
 	recoverFlag := flag.Bool("recover", false, "run under the crash-recovery runtime: epoch checkpoints + rollback/respawn on crash verdicts (docs/ROBUSTNESS.md)")
 	parallelFlag := flag.Bool("parallel", false, "run the simulator's parallel engine (bit-identical results; docs/DETERMINISM.md)")
+	autotuneFlag := flag.Bool("autotune", false, "tune the exchange configuration per machine and add a 'tuned' config (docs/TUNING.md)")
+	tuneTolFlag := flag.Float64("tunetol", 1e-3, "per-stage error budget for the autotuner's compressed candidates")
+	tunePlanFlag := flag.String("tuneplan", "", "tune-plan file: written with -autotune, otherwise loaded and replayed")
+	tuneProbeFlag := flag.Int("tuneprobe", 2, "probe the best K predicted candidates with short simulation runs (0 = predictor only)")
 	tf := telemetry.RegisterFlags(nil)
 	flag.Parse()
 
@@ -167,6 +210,25 @@ func main() {
 		}
 		configs = append(configs, c)
 	}
+	// Tuning modes: -autotune computes a plan (and saves it to -tuneplan
+	// when given); -tuneplan alone loads a saved plan and replays its
+	// decisions. Either adds the "tuned" configuration to the table.
+	var planIn, planOut *tune.Plan
+	if *tunePlanFlag != "" && !*autotuneFlag {
+		p, err := tune.Load(*tunePlanFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftbench:", err)
+			os.Exit(1)
+		}
+		planIn = p
+	}
+	if *autotuneFlag {
+		planOut = tune.NewPlan(*tuneTolFlag)
+	}
+	tuning := *autotuneFlag || planIn != nil
+	if tuning {
+		configs = append(configs, config{name: "tuned"})
+	}
 	// The artifact embeds trace analyses, so -json records like -trace.
 	recording := *traceFlag != "" || *jsonFlag != ""
 
@@ -198,6 +260,12 @@ func main() {
 	if *recoverFlag {
 		artifact.Config["recover"] = "1"
 	}
+	if tuning {
+		artifact.Config["tunetol"] = fmt.Sprint(*tuneTolFlag)
+		if *autotuneFlag {
+			artifact.Config["autotune"] = "1"
+		}
+	}
 	// One recorder per (config, GPU-count) cell; recorders keeps the last
 	// measured row's recorder per config for the post-table summaries.
 	recorders := make([]*obs.Recorder, len(configs))
@@ -214,8 +282,42 @@ func main() {
 		if *faultsFlag != 0 {
 			machine.Faults = netsim.RandomPlan(*faultsFlag)
 		}
+		// Resolve this machine's tuned cell: compute it (-autotune) or
+		// look it up in the loaded plan. The tuner strips the fault plan
+		// itself, so the cell is identical with or without -faults.
+		var tunedCell *tune.Cell
+		if tuning {
+			baseOpts := core.Options{SimScale: simScale}
+			if *autotuneFlag {
+				cell, terr := tune.FFT[complex128](machine, n, baseOpts,
+					tune.Space{Budget: *tuneTolFlag, ProbeTopK: *tuneProbeFlag})
+				if terr != nil {
+					fmt.Fprintln(os.Stderr, "fftbench:", terr)
+					os.Exit(1)
+				}
+				tunedCell = cell
+				if _, dup := planOut.Cell(cell.Machine, cell.Shape); !dup {
+					planOut.Cells = append(planOut.Cells, *cell)
+				}
+			} else {
+				cell, ok := planIn.Cell(tune.Fingerprint(machine), tune.FFTShape(n, simScale, false, false))
+				if !ok {
+					fmt.Fprintf(os.Stderr, "fftbench: %s holds no cell for this machine/shape (%d GPUs)\n", *tunePlanFlag, g)
+					os.Exit(1)
+				}
+				tunedCell = cell
+			}
+			fmt.Printf("# tuned @ %d GPUs:", g)
+			for _, st := range tunedCell.Stages {
+				fmt.Printf(" %s=%s", st.Label, describeChoice(st))
+			}
+			fmt.Println()
+		}
 		gflops := make([]float64, len(configs))
 		for i, c := range configs {
+			if c.name == "tuned" {
+				c.opts = core.Options{Tune: tunedCell}
+			}
 			rec := obs.New(obs.Options{Trace: recording, Metrics: true})
 			cell := fmt.Sprintf("%s/%dgpus", c.name, g)
 			tel.StartRun(cell)
@@ -240,13 +342,24 @@ func main() {
 			lastRec = rec
 			lastCell = fmt.Sprintf("%s @ %d GPUs", c.name, g)
 			if *jsonFlag != "" {
+				prec := 64
+				if c.fp32 {
+					prec = 32
+				}
 				row := analyze.Row{
-					Name: c.name, GPUs: g,
+					Name: c.name, GPUs: g, Precision: prec,
 					Seconds: res.ForwardTime, Gflops: res.Gflops,
 					Compression: analyze.CompressionRows(rec.Metrics().CompressionStats()),
-					Model:       modelDeltas(rec, machine, n, c, simScale),
 					Faults:      analyze.FaultRowFrom(rec.Metrics()),
 					Errors:      analyze.ErrorRows(tel.Tracker(), cell),
+				}
+				if c.name == "tuned" {
+					// Tuned rows carry the decision record instead of the
+					// fixed-config model deltas (the cost model is keyed on
+					// a single backend, which a tuned plan need not have).
+					row.Tuning = tuningRows(tunedCell, rec)
+				} else {
+					row.Model = modelDeltas(rec, machine, n, c, simScale)
 				}
 				s := analyze.Summarize(analyze.FromRecorder(rec), 0)
 				row.Analysis = &s
@@ -307,6 +420,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("# bench artifact written: %s (%d rows)\n", *jsonFlag, len(artifact.Rows))
+	}
+	if *autotuneFlag && *tunePlanFlag != "" {
+		if err := planOut.Save(*tunePlanFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "fftbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# tune plan written: %s (%d cells)\n", *tunePlanFlag, len(planOut.Cells))
 	}
 	if *doPlot {
 		fmt.Println()

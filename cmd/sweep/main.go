@@ -26,8 +26,10 @@ import (
 type job struct {
 	file string
 	args []string
-	// observable marks drivers that accept -trace/-metrics.
+	// observable marks drivers that accept -trace/-metrics; tunable the
+	// ones that accept -autotune (the two bench drivers).
 	observable bool
+	tunable    bool
 }
 
 func main() {
@@ -36,6 +38,7 @@ func main() {
 	traceDir := flag.String("trace", "", "collect per-job Chrome traces into this directory")
 	errtrackDir := flag.String("errtrack", "", "collect per-job error-provenance reports into this directory")
 	metrics := flag.Bool("metrics", false, "append each driver's metrics report to its output file")
+	autotune := flag.Bool("autotune", false, "add the autotuned configuration to the fig3/fig4 jobs (docs/TUNING.md)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -66,16 +69,19 @@ func main() {
 	}
 
 	jobs := []job{
-		{"table1.txt", []string{"run", "./cmd/precisions"}, false},
-		{"fig3.txt", []string{"run", "./cmd/alltoallbench", "-gpus", fig3GPUs, "-iters", iters}, true},
-		{"fig4.txt", []string{"run", "./cmd/fftbench", "-n", n, "-sim", sim, "-gpus", gpus, "-iters", "1"}, true},
-		{"table2.txt", []string{"run", "./cmd/accuracy", "-table2", "-n", t2n, "-gpus", gpus}, true},
-		{"fig2.txt", []string{"run", "./cmd/accuracy", "-fig2", "-n", f2n, "-fig2gpus", "12"}, true},
-		{"ablation.txt", []string{"run", "./cmd/ablation", "-gpus", ablGPUs}, true},
+		{"table1.txt", []string{"run", "./cmd/precisions"}, false, false},
+		{"fig3.txt", []string{"run", "./cmd/alltoallbench", "-gpus", fig3GPUs, "-iters", iters}, true, true},
+		{"fig4.txt", []string{"run", "./cmd/fftbench", "-n", n, "-sim", sim, "-gpus", gpus, "-iters", "1"}, true, true},
+		{"table2.txt", []string{"run", "./cmd/accuracy", "-table2", "-n", t2n, "-gpus", gpus}, true, false},
+		{"fig2.txt", []string{"run", "./cmd/accuracy", "-fig2", "-n", f2n, "-fig2gpus", "12"}, true, false},
+		{"ablation.txt", []string{"run", "./cmd/ablation", "-gpus", ablGPUs}, true, false},
 	}
 	for _, j := range jobs {
 		args := j.args
 		name := strings.TrimSuffix(j.file, filepath.Ext(j.file))
+		if j.tunable && *autotune {
+			args = append(append([]string(nil), args...), "-autotune")
+		}
 		if j.observable {
 			if *metrics {
 				args = append(append([]string(nil), args...), "-metrics")

@@ -29,7 +29,20 @@ func StageBounds(opts Options, inverse bool) []errtrack.StageBudget {
 	}
 	out := make([]errtrack.StageBudget, stages)
 	for i := range out {
-		out[i] = errtrack.StageBudget{Label: prefix + strconv.Itoa(i), Bound: bound}
+		label := prefix + strconv.Itoa(i)
+		b := bound
+		// A tune plan overrides the stage's backend, and with it the
+		// stage's theoretical bound: the chosen method's for compressed
+		// winners, zero for lossless ones.
+		if o.Tune != nil {
+			if ch, ok := o.Tune.Choice(label); ok {
+				b = 0
+				if (ch.Backend == BackendCompressed || ch.Backend == BackendCompressedTwoSided) && ch.Method != nil {
+					b = ch.Method.ErrorBound()
+				}
+			}
+		}
+		out[i] = errtrack.StageBudget{Label: label, Bound: b}
 	}
 	return out
 }

@@ -33,6 +33,12 @@ const (
 	// separates the compression gain from the one-sided transport gain.
 	// FP64 pipelines only.
 	BackendCompressedTwoSided
+	// BackendBruck is the log-round aggregated Bruck algorithm. It
+	// requires uniform block sizes, so the reshape pads every pairwise
+	// payload to the global maximum overlap — the small-message regime
+	// trade (far fewer messages for extra volume) the tuner weighs
+	// against the direct algorithms.
+	BackendBruck
 )
 
 func (b Backend) String() string {
@@ -45,8 +51,31 @@ func (b Backend) String() string {
 		return "osc+compression"
 	case BackendCompressedTwoSided:
 		return "alltoallv+compression"
+	case BackendBruck:
+		return "bruck"
 	}
 	return "unknown"
+}
+
+// ExchangeChoice is one reshape's resolved exchange configuration — the
+// unit of the autotuner's decisions. Method must be non-nil for the
+// compressed backends and is ignored by the lossless ones; Chunks == 0
+// falls back to Options.Chunks.
+type ExchangeChoice struct {
+	Backend Backend
+	Chunks  int
+	Method  compress.Method
+}
+
+// TunePlan supplies per-reshape exchange choices to a plan (the
+// consumer side of internal/tune's serialized plans; tune.Cell
+// implements it). Choice is called once per reshape at plan
+// construction with the reshape's label (fwd0..3 / bwd0..3, or the
+// fwd0..1 / bwd0..1 pair with PencilIO) and must return identical
+// results on every rank — plans are collective. Labels it does not
+// cover (ok == false) keep the fixed Options configuration.
+type TunePlan interface {
+	Choice(label string) (ExchangeChoice, bool)
 }
 
 // Options configures a Plan.
@@ -73,6 +102,13 @@ type Options struct {
 	// as x-pencils (stride-1 in x) and accepts output left as z-pencils
 	// (stride-1 in z), cutting the reshape count from four to two.
 	PencilIO bool
+	// Tune, when non-nil, overrides Backend/Method/Chunks per reshape
+	// with the autotuner's selected winners (docs/TUNING.md). A reshape
+	// whose label the plan covers is constructed exactly as if its choice
+	// had been passed as fixed Options — virtual times and outputs are
+	// bit-identical to that fixed-config run. Labels not covered keep the
+	// fixed configuration above.
+	Tune TunePlan
 	// SimScale runs the time plane at a problem SimScale× larger per
 	// dimension than the data plane: transfers, kernels, and the flop
 	// metric are charged as if each axis had SimScale·n points, while

@@ -453,10 +453,22 @@ type reshape[C fft.Complex] struct {
 	metricTime string
 	label      string
 
+	// backend and method are this reshape's resolved exchange choice:
+	// the fixed Options configuration, or the tune plan's winner for
+	// this label (Options.Tune). Everything below keys off these, never
+	// off pl.opts, so a tuned stage is constructed and executed exactly
+	// like the same fixed-config stage.
+	backend Backend
+	method  compress.Method
+
 	// Byte backends.
 	sendBytes   [][]byte
 	recvNonzero []bool
 	osc         *exchange.OSC
+	// Bruck: uniform padded blocks (real and logical sizes in bytes).
+	bruckSend    [][]byte
+	bruckBlock   int
+	bruckLogical int
 	// Compressed backends.
 	sendVals [][]float64
 	cosc     *exchange.CompressedOSC
@@ -507,7 +519,31 @@ func newReshape[C fft.Complex](pl *Plan[C], fromStage, toStage int, label string
 	r.packBuf = make([]C, maxPack)
 	r.outBuf = make([]C, r.toBox.Count())
 
-	switch pl.opts.Backend {
+	// Resolve this reshape's exchange choice: the fixed Options, unless
+	// an attached tune plan covers the label. Every field below keys off
+	// the choice, so a tuned stage is bit-identical to the same stage
+	// under fixed Options.
+	choice := ExchangeChoice{Backend: pl.opts.Backend, Chunks: pl.opts.Chunks, Method: pl.opts.Method}
+	if pl.opts.Tune != nil {
+		if ch, ok := pl.opts.Tune.Choice(label); ok {
+			choice = ch
+			if choice.Chunks == 0 {
+				choice.Chunks = pl.opts.Chunks
+			}
+		}
+	}
+	r.backend = choice.Backend
+	r.method = choice.Method
+	if choice.Backend == BackendCompressed || choice.Backend == BackendCompressedTwoSided {
+		if choice.Method == nil {
+			panic("core: compressed exchange choice for " + label + " has no method")
+		}
+		if pl.precBits == 32 {
+			panic("core: compressed backends require the FP64 pipeline")
+		}
+	}
+
+	switch choice.Backend {
 	case BackendAlltoallv:
 		r.sendBytes = make([][]byte, p)
 		r.recvNonzero = make([]bool, p)
@@ -520,6 +556,37 @@ func newReshape[C fft.Complex](pl *Plan[C], fromStage, toStage int, label string
 		if pl.opts.SimScale > 1 {
 			r.osc.Logical = func(dst, src int) int { return elem * simOverlap(dst, src) }
 		}
+	case BackendBruck:
+		r.sendBytes = make([][]byte, p)
+		// Bruck requires uniform blocks: pad every pairwise payload to
+		// the global maximum overlap. The maximum is reduced
+		// collectively (every pair appears in its source's send list, so
+		// the send-side maximum covers all pairs), which keeps the block
+		// size — and hence every round's message sizes — identical on
+		// all ranks.
+		maxCnt := 0
+		for _, t := range r.plan.Send {
+			if t.Count > maxCnt {
+				maxCnt = t.Count
+			}
+		}
+		maxCnt = int(pl.c.AllreduceFloat64("max", float64(maxCnt)))
+		r.bruckBlock = elem * maxCnt
+		r.bruckLogical = r.bruckBlock
+		if pl.opts.SimScale > 1 {
+			simMax := 0
+			for _, t := range simPlan.Send {
+				if t.Count > simMax {
+					simMax = t.Count
+				}
+			}
+			simMax = int(pl.c.AllreduceFloat64("max", float64(simMax)))
+			r.bruckLogical = elem * simMax
+		}
+		r.bruckSend = make([][]byte, p)
+		for d := range r.bruckSend {
+			r.bruckSend[d] = make([]byte, r.bruckBlock)
+		}
 	case BackendCompressed:
 		r.sendVals = make([][]float64, p)
 		// Scale the pipeline depth to the payload: one chunk per 256 KB
@@ -530,10 +597,10 @@ func newReshape[C fft.Complex](pl *Plan[C], fromStage, toStage int, label string
 		if chunks < 1 {
 			chunks = 1
 		}
-		if chunks > pl.opts.Chunks {
-			chunks = pl.opts.Chunks
+		if chunks > choice.Chunks {
+			chunks = choice.Chunks
 		}
-		r.cosc = exchange.NewCompressedOSC(pl.c, pl.opts.Method, pl.stream, chunks,
+		r.cosc = exchange.NewCompressedOSC(pl.c, choice.Method, pl.stream, chunks,
 			func(dst, src int) int { return 2 * overlap(dst, src) })
 		r.cosc.SetLabel(label)
 		r.cosc.Pipelined = !pl.opts.DisablePipeline
@@ -542,7 +609,7 @@ func newReshape[C fft.Complex](pl *Plan[C], fromStage, toStage int, label string
 		}
 	case BackendCompressedTwoSided:
 		r.sendVals = make([][]float64, p)
-		r.c2s = exchange.NewTwoSidedCompressed(pl.c, pl.opts.Method, pl.stream,
+		r.c2s = exchange.NewTwoSidedCompressed(pl.c, choice.Method, pl.stream,
 			func(dst, src int) int { return 2 * overlap(dst, src) })
 		r.c2s.SetLabel(label)
 		if pl.opts.SimScale > 1 {
@@ -564,7 +631,7 @@ func (r *reshape[C]) execute(local []C) []C {
 	rk.Begin(obs.TrackHost, obs.PhasePack, tPack)
 
 	// Pack every destination's overlap, reordered to the target layout.
-	switch pl.opts.Backend {
+	switch r.backend {
 	case BackendCompressed, BackendCompressedTwoSided:
 		for i := range r.sendVals {
 			r.sendVals[i] = nil
@@ -609,7 +676,7 @@ func (r *reshape[C]) execute(local []C) []C {
 	// Exchange.
 	var recvBytes [][]byte
 	var recvVals [][]float64
-	switch pl.opts.Backend {
+	switch r.backend {
 	case BackendAlltoallv:
 		var logical []int
 		if pl.opts.SimScale > 1 {
@@ -618,6 +685,17 @@ func (r *reshape[C]) execute(local []C) []C {
 		recvBytes = pl.c.AlltoallvSparse(r.sendBytes, r.recvNonzero, logical)
 	case BackendOSC:
 		recvBytes = r.osc.Exchange(r.sendBytes)
+	case BackendBruck:
+		if r.bruckBlock > 0 {
+			// Pad every pairwise payload into its uniform block (bytes
+			// past the overlap travel but are never unpacked).
+			for d := range r.bruckSend {
+				copy(r.bruckSend[d], r.sendBytes[d])
+			}
+			recvBytes = exchange.BruckAlltoallLogical(pl.c, r.bruckSend, r.bruckBlock, r.bruckLogical)
+		} else {
+			recvBytes = r.bruckSend
+		}
 	case BackendCompressed:
 		recvVals = r.cosc.Exchange(r.sendVals)
 	case BackendCompressedTwoSided:
@@ -637,7 +715,7 @@ func (r *reshape[C]) execute(local []C) []C {
 	// Unpack into the target layout.
 	pl.stream.LaunchTagged(obs.PhaseUnpack, dev.CopyCost(r.simRecvTotal*pl.elemSize()), func() {
 		for _, t := range r.plan.Recv {
-			switch pl.opts.Backend {
+			switch r.backend {
 			case BackendCompressed, BackendCompressedTwoSided:
 				floatsToComplex(recvVals[t.Rank], r.packBuf[:t.Count])
 			default:

@@ -24,6 +24,27 @@ const (
 	AlgoOSCComp = "osc-comp"
 )
 
+// Spec parameterizes the bandwidth harness beyond the named algorithm
+// presets: the compressed algorithm's method and pipeline depth become
+// selectable (the autotuner's winners need both). The zero Method /
+// Chunks keep the presets' fixed configuration (Cast32, 4 chunks), so
+// Spec{Algo: a} behaves exactly like the plain algorithm string.
+type Spec struct {
+	Algo   string
+	Method compress.Method // AlgoOSCComp only; nil selects Cast32
+	Chunks int             // AlgoOSCComp only; 0 selects 4
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Method == nil {
+		s.Method = compress.Cast32{}
+	}
+	if s.Chunks == 0 {
+		s.Chunks = 4
+	}
+	return s
+}
+
 // NodeBandwidth runs a uniform all-to-all (msgBytes per pair, phantom
 // payloads) iters times on the machine and returns the average node
 // bandwidth in bytes/s — the Fig. 3 metric: total bytes sent divided by
@@ -36,6 +57,13 @@ func NodeBandwidth(cfg netsim.Config, algo string, msgBytes, iters int) float64 
 // NodeBandwidthWith is NodeBandwidth with an observability recorder
 // attached to the run (nil behaves exactly like NodeBandwidth).
 func NodeBandwidthWith(rec *obs.Recorder, cfg netsim.Config, algo string, msgBytes, iters int) float64 {
+	return NodeBandwidthSpec(rec, cfg, Spec{Algo: algo}, msgBytes, iters)
+}
+
+// NodeBandwidthSpec is NodeBandwidthWith over a full Spec.
+func NodeBandwidthSpec(rec *obs.Recorder, cfg netsim.Config, spec Spec, msgBytes, iters int) float64 {
+	spec = spec.withDefaults()
+	algo := spec.Algo
 	p := cfg.Ranks()
 	var start, end float64
 	mpi.RunWith(cfg, rec, func(c *mpi.Comm) {
@@ -58,7 +86,7 @@ func NodeBandwidthWith(rec *obs.Recorder, cfg netsim.Config, algo string, msgByt
 			}
 			stream := gpu.NewStream(gpu.V100(), c)
 			stream.SetObserver(c.Obs())
-			cosc = NewCompressedOSC(c, compress.Cast32{}, stream, 4, UniformCount(count))
+			cosc = NewCompressedOSC(c, spec.Method, stream, spec.Chunks, UniformCount(count))
 			cosc.SetLabel("bench")
 			send = benchPayload(c.Rank(), p, count)
 		}
@@ -103,6 +131,14 @@ func NodeBandwidthWith(rec *obs.Recorder, cfg netsim.Config, algo string, msgByt
 // are restored, not re-run), so a recovered measurement stays
 // well-defined.
 func NodeBandwidthRecoverable(rec *obs.Recorder, cfg netsim.Config, algo string, msgBytes, iters int, pol recov.Policy) (float64, recov.Outcome, error) {
+	return NodeBandwidthRecoverableSpec(rec, cfg, Spec{Algo: algo}, msgBytes, iters, pol)
+}
+
+// NodeBandwidthRecoverableSpec is NodeBandwidthRecoverable over a full
+// Spec.
+func NodeBandwidthRecoverableSpec(rec *obs.Recorder, cfg netsim.Config, spec Spec, msgBytes, iters int, pol recov.Policy) (float64, recov.Outcome, error) {
+	spec = spec.withDefaults()
+	algo := spec.Algo
 	p := cfg.Ranks()
 	var start, end float64
 	var performed int
@@ -127,7 +163,7 @@ func NodeBandwidthRecoverable(rec *obs.Recorder, cfg netsim.Config, algo string,
 			}
 			stream := gpu.NewStream(gpu.V100(), c)
 			stream.SetObserver(c.Obs())
-			cosc = NewCompressedOSC(c, compress.Cast32{}, stream, 4, UniformCount(count))
+			cosc = NewCompressedOSC(c, spec.Method, stream, spec.Chunks, UniformCount(count))
 			cosc.SetLabel("bench")
 			send = benchPayload(c.Rank(), p, count)
 		}

@@ -11,6 +11,14 @@ const tagBruck = 104
 // regime where the per-message costs that Fig. 3 exposes dominate.
 // Every rank contributes one block of blockSize bytes per destination.
 func BruckAlltoall(c *mpi.Comm, send [][]byte, blockSize int) [][]byte {
+	return BruckAlltoallLogical(c, send, blockSize, blockSize)
+}
+
+// BruckAlltoallLogical is BruckAlltoall charging logicalBlock wire
+// bytes per block — the scaled-volume mode: payloads stay real at
+// blockSize while the time plane sees each block as logicalBlock bytes.
+// logicalBlock == blockSize reproduces BruckAlltoall exactly.
+func BruckAlltoallLogical(c *mpi.Comm, send [][]byte, blockSize, logicalBlock int) [][]byte {
 	p := c.Size()
 	r := c.Rank()
 	for d, b := range send {
@@ -44,7 +52,7 @@ func BruckAlltoall(c *mpi.Comm, send [][]byte, blockSize int) [][]byte {
 		for _, j := range outIdx {
 			packed = append(packed, blocks[j]...)
 		}
-		c.Send(dst, tagBruck+round, packed)
+		c.SendLogical(dst, tagBruck+round, packed, len(outIdx)*logicalBlock)
 		got := c.Recv(src, tagBruck+round)
 		for i, j := range outIdx {
 			copy(blocks[j], got[i*blockSize:(i+1)*blockSize])

@@ -231,19 +231,28 @@ func checkUserTag(tag int) {
 // hand the slice over zero-copy and pay the handshake surcharge. Send
 // returns at injection time, as a buffered MPI_Send would.
 func (c *Comm) Send(dst, tag int, data []byte) {
+	c.SendLogical(dst, tag, data, len(data))
+}
+
+// SendLogical is Send charging logical wire bytes for the message
+// instead of len(data) — the scaled-volume mode (see DESIGN.md) for
+// algorithms that must still move real payloads, the two-sided analogue
+// of the one-sided window's Logical size function. logical == len(data)
+// is exactly Send.
+func (c *Comm) SendLogical(dst, tag int, data []byte, logical int) {
 	checkUserTag(tag)
 	if c.reliable {
 		payload := frame(c.nextSendSeq(dst, tag), data)
-		lat, proto := c.rendezvousCost(dst, len(data))
-		c.p.SendMsg(dst, tag, netsim.SendOpts{Payload: payload, Bytes: len(data) + frameHdr, ExtraLatency: lat, ProtoOverhead: proto})
+		lat, proto := c.rendezvousCost(dst, logical)
+		c.p.SendMsg(dst, tag, netsim.SendOpts{Payload: payload, Bytes: logical + frameHdr, ExtraLatency: lat, ProtoOverhead: proto})
 		return
 	}
 	payload := data
-	if len(data) <= c.eagerThreshold {
+	if logical <= c.eagerThreshold {
 		payload = append([]byte(nil), data...)
 	}
-	lat, proto := c.rendezvousCost(dst, len(data))
-	c.p.SendMsg(dst, tag, netsim.SendOpts{Payload: payload, Bytes: len(data), ExtraLatency: lat, ProtoOverhead: proto})
+	lat, proto := c.rendezvousCost(dst, logical)
+	c.p.SendMsg(dst, tag, netsim.SendOpts{Payload: payload, Bytes: logical, ExtraLatency: lat, ProtoOverhead: proto})
 }
 
 // SendN transmits a phantom message of n logical bytes (no payload),

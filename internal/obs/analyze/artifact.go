@@ -31,6 +31,12 @@ type Artifact struct {
 type Row struct {
 	Name string `json:"name"` // configuration/algorithm name
 	GPUs int    `json:"gpus"`
+	// Precision is the FFT pipeline precision in bits (64 or 32); 0 for
+	// rows without a compute pipeline (alltoallbench). The benchdiff
+	// tuned-vs-best-fixed gate only compares rows of equal precision —
+	// the tuner picks exchanges within a pipeline, it cannot trade the
+	// pipeline's own compute precision.
+	Precision int `json:"precision,omitempty"`
 	// Seconds is the end-to-end virtual time per iteration (lower is
 	// better); Gflops the derived rate. NodeBW is the achieved per-node
 	// exchange bandwidth in bytes/s (higher is better; alltoallbench).
@@ -56,6 +62,33 @@ type Row struct {
 	// matrix. Nil when the run measured no compression error, which keeps
 	// lossless rows and old baselines unchanged.
 	Errors []ErrorStageRow `json:"errors,omitempty"`
+	// Tuning records the autotuner's per-stage decisions when the row
+	// ran a tuned configuration (docs/TUNING.md): the winning candidate,
+	// the prediction and probe evidence behind it, and the
+	// predicted-vs-measured gap of the run itself. Nil for fixed-config
+	// rows; its presence is also what the benchdiff tuned-vs-best-fixed
+	// gate keys on.
+	Tuning []TuningRow `json:"tuning,omitempty"`
+}
+
+// TuningRow is one stage of a tuned row's decision record.
+type TuningRow struct {
+	Label string `json:"label"`
+	// Algo, Chunks, Method name the selected candidate (tune's
+	// serialized vocabulary; Method/Chunks only for compressed winners).
+	Algo   string `json:"algo"`
+	Chunks int    `json:"chunks,omitempty"`
+	Method string `json:"method,omitempty"`
+	// PredictedS is the tuner's roofline prediction for the stage,
+	// ProbedS its probe-run measurement (0 when not probed), MeasuredS
+	// the consuming run's measured exchange time, and Gap the
+	// measured/predicted ratio — the model-quality signal.
+	PredictedS float64 `json:"predicted_s,omitempty"`
+	ProbedS    float64 `json:"probed_s,omitempty"`
+	MeasuredS  float64 `json:"measured_s,omitempty"`
+	Gap        float64 `json:"gap,omitempty"`
+	// Candidates is the enumerated-space size the winner beat.
+	Candidates int `json:"candidates,omitempty"`
 }
 
 // ErrorStageRow is one reshape stage of a row's error-provenance ledger.

@@ -40,11 +40,18 @@ type DiffResult struct {
 	// payloads. Unlike the threshold comparisons this gate needs no
 	// baseline: a bound violation is wrong in absolute terms.
 	OverBudget []string
+	// TunedSlower lists tuned rows of the new artifact (rows carrying a
+	// Tuning section) that are worse than the best fixed-configuration
+	// baseline row at the same GPU count beyond the threshold. An
+	// autotuner that loses to a configuration it could have picked is a
+	// regression even though the tuned row has no baseline of its own.
+	TunedSlower []DiffLine
 }
 
 // Regressed reports whether the gate should fail.
 func (d DiffResult) Regressed() bool {
-	return len(d.Regressions) > 0 || len(d.Missing) > 0 || len(d.Degraded) > 0 || len(d.OverBudget) > 0
+	return len(d.Regressions) > 0 || len(d.Missing) > 0 || len(d.Degraded) > 0 ||
+		len(d.OverBudget) > 0 || len(d.TunedSlower) > 0
 }
 
 // Diff compares two artifacts row by row (matched on name and GPU
@@ -115,9 +122,44 @@ func Diff(oldA, newA *Artifact, threshold float64) DiffResult {
 			compare("mttr_seconds", or.Faults.MTTRSeconds, nr.Faults.MTTRSeconds, true)
 		}
 	}
+	// Best fixed-configuration baseline per GPU count and pipeline
+	// precision, for the tuned-vs-best-fixed gate: lowest seconds and
+	// highest node bandwidth among the baseline's untuned rows. Matching
+	// precision keeps the comparison inside the tuner's candidate space —
+	// an fp32 pipeline wins on compute, not on a better exchange.
+	type bestKey struct{ gpus, prec int }
+	bestSec := make(map[bestKey]float64)
+	bestBW := make(map[bestKey]float64)
+	for _, or := range oldA.Rows {
+		if len(or.Tuning) > 0 {
+			continue
+		}
+		k := bestKey{or.GPUs, or.Precision}
+		if or.Seconds > 0 && (bestSec[k] == 0 || or.Seconds < bestSec[k]) {
+			bestSec[k] = or.Seconds
+		}
+		if or.NodeBW > bestBW[k] {
+			bestBW[k] = or.NodeBW
+		}
+	}
 	for _, r := range newA.Rows {
 		if !seen[key{r.Name, r.GPUs}] {
 			d.Added = append(d.Added, rowName(r))
+		}
+		if len(r.Tuning) > 0 {
+			k := bestKey{r.GPUs, r.Precision}
+			if b := bestSec[k]; b > 0 && r.Seconds > b*(1+threshold) {
+				d.TunedSlower = append(d.TunedSlower, DiffLine{
+					Row: rowName(r), Metric: "seconds", Old: b, New: r.Seconds,
+					Delta: (r.Seconds - b) / b,
+				})
+			}
+			if b := bestBW[k]; b > 0 && r.NodeBW > 0 && r.NodeBW < b*(1-threshold) {
+				d.TunedSlower = append(d.TunedSlower, DiffLine{
+					Row: rowName(r), Metric: "node_bw", Old: b, New: r.NodeBW,
+					Delta: (b - r.NodeBW) / b,
+				})
+			}
 		}
 		// The budget gate covers every new row, matched or not.
 		for _, e := range r.Errors {
@@ -150,6 +192,10 @@ func (d DiffResult) WriteText(w io.Writer) {
 	}
 	for _, o := range d.OverBudget {
 		fmt.Fprintf(w, "OVERBUDGET %s\n", o)
+	}
+	for _, l := range d.TunedSlower {
+		fmt.Fprintf(w, "TUNED-SLOWER %-22s %-9s best fixed %.4g, tuned %.4g (%+.1f%%, threshold %.0f%%)\n",
+			l.Row, l.Metric, l.Old, l.New, 100*l.Delta, 100*d.Threshold)
 	}
 	for _, l := range d.Improvements {
 		fmt.Fprintf(w, "improved   %-24s %-9s %.4g -> %.4g (%+.1f%%)\n",
