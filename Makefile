@@ -1,6 +1,6 @@
 # Convenience targets; the repo needs only the Go toolchain.
 
-.PHONY: build test lint verify verify-parallel trace-demo telemetry-demo errmap-demo tune-demo bench benchdiff chaos chaos-race chaos-recovery clean
+.PHONY: build test lint verify verify-parallel trace-demo telemetry-demo errmap-demo tune-demo bench benchdiff chaos chaos-race chaos-recovery chaos-shrink fuzz clean
 
 build:
 	go build ./...
@@ -28,6 +28,8 @@ verify:
 	go run ./cmd/chaos -seeds 8 -parallel
 	go run -race ./cmd/chaos -seeds 8
 	$(MAKE) chaos-recovery
+	$(MAKE) chaos-shrink
+	$(MAKE) fuzz
 	$(MAKE) telemetry-demo
 	$(MAKE) errmap-demo
 	$(MAKE) tune-demo
@@ -84,6 +86,30 @@ chaos-race:
 chaos-recovery:
 	go run ./cmd/chaos -seeds 20 -workloads recover-osc,recover-comp
 	go run ./cmd/chaos -seeds 20 -workloads recover-osc,recover-comp -parallel
+
+# chaos-shrink sweeps the kill-permanent stratum: seeded permanent rank
+# kills exhaust the respawn budget, and each cell must either shrink
+# onto the survivors (Policy.Shrink) and finish bit-identically — the
+# runner executes BOTH engines per seed and cross-checks them — or, on
+# the Shrink-off seeds, give up with the typed *recov.UnrecoverableError
+# (docs/ROBUSTNESS.md). Part of `make verify`.
+chaos-shrink:
+	go run ./cmd/chaos -seeds 20 -workloads kill-osc,kill-comp
+
+# fuzz runs every native fuzz target for a short fixed budget — the
+# snapshot frame decoder and round-trip (internal/recover), the hostile
+# window-slot decoder and the shrink ledger remapper (internal/exchange),
+# and the tune-plan loader (internal/tune). The patterns are anchored:
+# `go test -fuzz` rejects a pattern matching more than one target.
+# Part of `make verify`; corpus findings land in testdata/fuzz/ — commit
+# them as regression seeds.
+FUZZTIME = 5s
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzSnapshotFrame$$' -fuzztime $(FUZZTIME) ./internal/recover/
+	go test -run '^$$' -fuzz '^FuzzSnapshotFrameRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/recover/
+	go test -run '^$$' -fuzz '^FuzzDecodeSlot$$' -fuzztime $(FUZZTIME) ./internal/exchange/
+	go test -run '^$$' -fuzz '^FuzzRemapLedgerState$$' -fuzztime $(FUZZTIME) ./internal/exchange/
+	go test -run '^$$' -fuzz '^FuzzLoadTunePlan$$' -fuzztime $(FUZZTIME) ./internal/tune/
 
 # trace-demo runs a small compressed strong-scaling cell and writes a
 # Chrome-trace JSON (open in chrome://tracing or ui.perfetto.dev) plus

@@ -78,6 +78,7 @@ func main() {
 	jsonFlag := flag.String("json", "", "write the machine-readable bench artifact to this file")
 	faultsFlag := flag.Int64("faults", 0, "inject the seeded fault plan netsim.RandomPlan(seed); 0 disables (docs/ROBUSTNESS.md)")
 	recoverFlag := flag.Bool("recover", false, "run under the crash-recovery runtime: epoch checkpoints + rollback/respawn on crash verdicts (docs/ROBUSTNESS.md)")
+	shrinkFlag := flag.Bool("shrink", false, "with -recover: when a rank's respawn budget is exhausted, shrink onto the survivors instead of giving up (docs/ROBUSTNESS.md)")
 	parallelFlag := flag.Bool("parallel", false, "run the simulator's parallel engine (bit-identical results; docs/DETERMINISM.md)")
 	autotuneFlag := flag.Bool("autotune", false, "tune the exchange per machine and add a 'tuned' algorithm (docs/TUNING.md)")
 	tuneTolFlag := flag.Float64("tunetol", 1e-3, "error budget for the autotuner's compressed candidates")
@@ -153,6 +154,12 @@ func main() {
 	if *recoverFlag {
 		artifact.Config["recover"] = "1"
 	}
+	if *shrinkFlag {
+		// Shrink provenance: rows of this artifact may have finished on a
+		// degraded (smaller) topology; benchdiff refuses to compare such
+		// rows against full-size baselines.
+		artifact.Config["shrink"] = "1"
+	}
 	if tuning {
 		artifact.Config["tunetol"] = fmt.Sprint(*tuneTolFlag)
 		if *autotuneFlag {
@@ -222,13 +229,18 @@ func main() {
 			if *recoverFlag {
 				var out recov.Outcome
 				var rerr error
-				bw, out, rerr = exchange.NodeBandwidthRecoverableSpec(rec, machine, spec, *msg, *iters, recov.Policy{Seed: *faultsFlag})
+				bw, out, rerr = exchange.NodeBandwidthRecoverableSpec(rec, machine, spec, *msg, *iters,
+					recov.Policy{Seed: *faultsFlag, Shrink: *shrinkFlag})
 				if rerr != nil {
 					fmt.Fprintf(os.Stderr, "alltoallbench: %s: %v\n", cell, rerr)
 					os.Exit(1)
 				}
 				if len(out.Recoveries) > 0 {
 					fmt.Fprintf(os.Stderr, "# %s: recovered %d crash(es), MTTR %.3gs\n", cell, len(out.Recoveries), out.MTTRSeconds)
+				}
+				for _, sh := range out.Shrinks {
+					fmt.Fprintf(os.Stderr, "# %s: SHRUNK %d->%d ranks (lost %v) at t=%.3gs — degraded topology, not comparable to full-size rows\n",
+						cell, sh.FromSize, sh.ToSize, sh.Dead, sh.DetectT)
 				}
 			} else {
 				bw = exchange.NodeBandwidthSpec(rec, machine, spec, *msg, *iters)

@@ -18,6 +18,15 @@
 // rollback/respawn on crash verdicts, double-fault and restart-budget
 // stratification per seed. `make chaos-recovery` drives them.
 //
+// The kill-osc and kill-comp workloads are the kill-permanent stratum:
+// a seeded permanent rank kill exhausts the respawn budget, and the run
+// must either shrink onto the survivors (Policy.Shrink, two thirds of
+// the seeds) and finish bit-identically on BOTH simulator engines, or
+// give up with the typed *recov.UnrecoverableError (the remaining
+// seeds, Shrink off). Each kill cell runs the sequential and parallel
+// engines itself and cross-checks their outcomes, so `-parallel` is
+// redundant for them.
+//
 // Usage:
 //
 //	go run ./cmd/chaos [-seeds 60] [-start 1] [-workloads linear,pairwise,osc,osc-comp,osc-comp16] [-timeout 60s] [-v]
@@ -58,12 +67,13 @@ const (
 	outClean     outcome = iota // completed, bit-identical, no degradation
 	outDegraded                 // completed, bit-identical, repairs/fallback reported
 	outRecovered                // completed bit-identically after rollback/respawn
+	outShrunk                   // completed bit-identically on fewer ranks after an elastic shrink
 	outError                    // explicit typed fault diagnostic
 	outBad                      // corrupt data, stray panic, or hang: contract violated
 )
 
 func (o outcome) String() string {
-	return [...]string{"clean", "degraded", "recovered", "error", "BAD"}[o]
+	return [...]string{"clean", "degraded", "recovered", "shrunk", "error", "BAD"}[o]
 }
 
 // report is the thread-safe result sink a workload body writes into.
@@ -219,7 +229,19 @@ func recoveryEpochs(c *mpi.Comm, rk *recov.Rank, iters int, led recoveryLedger, 
 	for epoch := 1; epoch <= iters; epoch++ {
 		if resume := rk.Resume(); epoch <= resume {
 			if epoch == resume {
-				snap, err := rk.Restore()
+				var snap []byte
+				var err error
+				if rk.Migrating() {
+					// The committed snapshot belongs to the pre-shrink
+					// membership: fetch this rank's old ledger and remap its
+					// per-peer records onto the survivors.
+					snap, err = rk.RestorePeer(rk.PrevRank())
+					if err == nil {
+						snap, err = exchange.RemapLedgerState(snap, rk.OldToNew(), c.Size())
+					}
+				} else {
+					snap, err = rk.Restore()
+				}
 				if err != nil {
 					panic(fmt.Sprintf("chaos: rank %d cannot restore epoch %d: %v", c.Rank(), epoch, err))
 				}
@@ -410,6 +432,105 @@ func runRecoverOne(seed int64, name string, body func(*mpi.Comm, *recov.Rank, *r
 	}
 }
 
+// shrinkWorkloads are the kill-permanent stratum's cells; the bodies
+// are the recovery workloads' own (recoveryEpochs already migrates the
+// healing ledger across a membership change).
+var shrinkWorkloads = map[string]func(c *mpi.Comm, rk *recov.Rank, rep *report){
+	"kill-osc":  recoveryWorkloads["recover-osc"],
+	"kill-comp": recoveryWorkloads["recover-comp"],
+}
+
+// runShrinkOne executes one kill-permanent cell: a seeded plan kills a
+// rank for good (every respawn dies again), so the respawn budget burns
+// out. Seeds ≡ 0 (mod 3) run with Shrink off and must surface the typed
+// *recov.UnrecoverableError; the rest shrink onto the survivors and
+// must finish bit-identically. Every cell runs on BOTH engines and
+// cross-checks the outcomes (times, shrink records, survivors), so the
+// determinism contract is asserted per seed rather than per sweep.
+func runShrinkOne(seed int64, name string, body func(*mpi.Comm, *recov.Rank, *report), timeout time.Duration, verbose bool, rec *obs.Recorder) (outcome, string) {
+	pol := recov.Policy{Seed: seed, MaxRestarts: 1, Shrink: seed%3 != 0}
+	type res struct {
+		out recov.Outcome
+		err error
+		rep *report
+	}
+	runEngine := func(par bool, r *obs.Recorder) res {
+		cfg := netsim.Summit(1)
+		cfg.Parallel = par
+		// A pure permanent-kill plan, timed like runOne's crash rescale so
+		// roughly half the seeds kill mid-sweep (the rest finish first and
+		// classify clean — the kill never fires).
+		cfg.Faults = &netsim.FaultPlan{Seed: seed, KillRank: int(seed % 6), KillAt: 0.5e-6 * float64(1+seed%40)}
+		rep := &report{}
+		ct := &recov.Controller{Policy: pol}
+		out, err := ct.Run(cfg, r, func(c *mpi.Comm, rk *recov.Rank) { body(c, rk, rep) })
+		return res{out, err, rep}
+	}
+	ch := make(chan [2]res, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- [2]res{{err: fmt.Errorf("harness panic: %v", r)}, {err: fmt.Errorf("harness panic: %v", r)}}
+			}
+		}()
+		seq := runEngine(false, rec) // only one engine feeds the recorder
+		par := runEngine(true, nil)
+		ch <- [2]res{seq, par}
+	}()
+	var seq, par res
+	select {
+	case r := <-ch:
+		seq, par = r[0], r[1]
+	case <-time.After(timeout):
+		return outBad, fmt.Sprintf("wall-clock hang (> %v)", timeout)
+	}
+	// Engine equivalence first: identical success/failure, virtual time,
+	// shrink records, and final membership.
+	if (seq.err == nil) != (par.err == nil) {
+		return outBad, fmt.Sprintf("engines disagree: sequential err=%v, parallel err=%v", seq.err, par.err)
+	}
+	if seq.err == nil {
+		if seq.out.Result.Time != par.out.Result.Time {
+			return outBad, fmt.Sprintf("engines disagree on time: %.9g != %.9g", seq.out.Result.Time, par.out.Result.Time)
+		}
+		if fmt.Sprintf("%+v", seq.out.Shrinks) != fmt.Sprintf("%+v", par.out.Shrinks) ||
+			fmt.Sprintf("%v", seq.out.Survivors) != fmt.Sprintf("%v", par.out.Survivors) {
+			return outBad, fmt.Sprintf("engines disagree on shrink history: %+v/%v != %+v/%v",
+				seq.out.Shrinks, seq.out.Survivors, par.out.Shrinks, par.out.Survivors)
+		}
+	}
+	var ue *recov.UnrecoverableError
+	switch {
+	case seq.err == nil && len(seq.rep.mismatch) > 0:
+		return outBad, "silent corruption: " + strings.Join(seq.rep.mismatch, "; ")
+	case seq.err == nil && len(seq.out.Shrinks) > 0:
+		sh := seq.out.Shrinks[len(seq.out.Shrinks)-1]
+		return outShrunk, fmt.Sprintf("%d->%d ranks (lost %v), MTTR %.3gs, %d repairs",
+			seq.out.Shrinks[0].FromSize, sh.ToSize, sh.Dead, seq.out.MTTRSeconds, seq.rep.repairs)
+	case seq.err == nil && len(seq.out.Recoveries) > 0:
+		return outRecovered, fmt.Sprintf("%d rollback(s), MTTR %.3gs", len(seq.out.Recoveries), seq.out.MTTRSeconds)
+	case seq.err == nil:
+		return outClean, ""
+	case errors.As(seq.err, &ue):
+		if pol.Shrink {
+			// With Shrink armed a lone permanent kill is survivable: giving
+			// up is a contract violation, not an explicit diagnostic.
+			return outBad, "shrink-enabled run gave up: " + firstLine(seq.err.Error())
+		}
+		if verbose {
+			return outError, seq.err.Error()
+		}
+		return outError, firstLine(seq.err.Error())
+	case explicit(seq.err):
+		if verbose {
+			return outError, seq.err.Error()
+		}
+		return outError, firstLine(seq.err.Error())
+	default:
+		return outBad, "unattributed failure: " + seq.err.Error()
+	}
+}
+
 func firstLine(s string) string {
 	if i := strings.IndexByte(s, '\n'); i >= 0 {
 		return s[:i] + " …"
@@ -420,7 +541,7 @@ func firstLine(s string) string {
 func main() {
 	seeds := flag.Int("seeds", 60, "number of fault plans to sweep")
 	start := flag.Int64("start", 1, "first seed (plans are deterministic per seed)")
-	workloadsFlag := flag.String("workloads", "linear,pairwise,osc,osc-comp,osc-comp16", "exchange workloads to sweep (also: recover-osc,recover-comp — crash-recovery cells)")
+	workloadsFlag := flag.String("workloads", "linear,pairwise,osc,osc-comp,osc-comp16", "exchange workloads to sweep (also: recover-osc,recover-comp — crash-recovery cells; kill-osc,kill-comp — permanent-kill elastic-shrink cells)")
 	timeout := flag.Duration("timeout", 60*time.Second, "wall-clock hang guard per run")
 	verbose := flag.Bool("v", false, "print every cell, not just summaries and violations")
 	parallel := flag.Bool("parallel", false, "run the simulator's parallel engine (verdicts are bit-identical; docs/DETERMINISM.md)")
@@ -449,7 +570,8 @@ func main() {
 		n = strings.TrimSpace(n)
 		_, plain := workloads[n]
 		_, recoverable := recoveryWorkloads[n]
-		if !plain && !recoverable {
+		_, shrinkable := shrinkWorkloads[n]
+		if !plain && !recoverable && !shrinkable {
 			fmt.Fprintf(os.Stderr, "chaos: unknown workload %q\n", n)
 			os.Exit(2)
 		}
@@ -469,6 +591,8 @@ func main() {
 			var detail string
 			if body, ok := workloads[name]; ok {
 				out, detail = runOne(seed, name, body, *timeout, *verbose, *parallel, rec)
+			} else if body, ok := shrinkWorkloads[name]; ok {
+				out, detail = runShrinkOne(seed, name, body, *timeout, *verbose, rec)
 			} else {
 				out, detail = runRecoverOne(seed, name, recoveryWorkloads[name], *timeout, *verbose, *parallel, rec)
 			}
@@ -505,10 +629,10 @@ func main() {
 		fmt.Printf(" %s=%d", k, scenarios[k])
 	}
 	fmt.Println()
-	fmt.Printf("%-12s %8s %10s %10s %8s %6s\n", "workload", "clean", "degraded", "recovered", "error", "bad")
+	fmt.Printf("%-12s %8s %10s %10s %8s %8s %6s\n", "workload", "clean", "degraded", "recovered", "shrunk", "error", "bad")
 	for _, name := range names {
 		c := counts[name]
-		fmt.Printf("%-12s %8d %10d %10d %8d %6d\n", name, c[outClean], c[outDegraded], c[outRecovered], c[outError], c[outBad])
+		fmt.Printf("%-12s %8d %10d %10d %8d %8d %6d\n", name, c[outClean], c[outDegraded], c[outRecovered], c[outShrunk], c[outError], c[outBad])
 	}
 	if tel.Enabled() {
 		fmt.Println(tel.Summary())

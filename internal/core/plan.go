@@ -13,6 +13,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	recov "repro/internal/recover"
 )
 
 // Plan is a distributed 3-D FFT plan over all ranks of a communicator.
@@ -267,6 +268,9 @@ func (pl *Plan[C]) step(r *reshape[C], data []C, axis, sign int) []C {
 		if pl.epoch < resume {
 			return data // effects subsumed by the committed snapshot
 		}
+		if rk.Migrating() {
+			return pl.migrateSnapshot(r)
+		}
 		snap, err := rk.Restore()
 		if err != nil {
 			panic(fmt.Sprintf("core: rank %d cannot restore epoch %d: %v", pl.c.Rank(), pl.epoch, err))
@@ -384,6 +388,122 @@ func (pl *Plan[C]) restoreSnapshot(r *reshape[C], snap []byte) []C {
 	return r.outBuf
 }
 
+// snapshotSections splits a serialized snapshot into its data body and
+// ledger sections without interpreting them.
+func snapshotSections(snap []byte) (body []byte, leds [][]byte, err error) {
+	if len(snap) < 8 {
+		return nil, nil, fmt.Errorf("snapshot truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(snap))
+	pos := 4
+	if n < 0 || pos+n+4 > len(snap) {
+		return nil, nil, fmt.Errorf("snapshot data section overruns snapshot")
+	}
+	body = snap[pos : pos+n]
+	pos += n
+	cnt := int(binary.LittleEndian.Uint32(snap[pos:]))
+	pos += 4
+	for i := 0; i < cnt; i++ {
+		if pos+4 > len(snap) {
+			return nil, nil, fmt.Errorf("snapshot truncated in ledger section")
+		}
+		ln := int(binary.LittleEndian.Uint32(snap[pos:]))
+		pos += 4
+		if ln < 0 || pos+ln > len(snap) {
+			return nil, nil, fmt.Errorf("ledger overruns snapshot")
+		}
+		leds = append(leds, snap[pos:pos+ln])
+		pos += ln
+	}
+	return body, leds, nil
+}
+
+// stageBoxes returns a pipeline stage's decomposition for an arbitrary
+// rank count: the layout the previous membership checkpointed under,
+// rebuilt during a shrink migration (stages 0 and 4 are the brick
+// input/output, stages 1..3 the axis pencils).
+func (pl *Plan[C]) stageBoxes(stage, p int) []grid.Box {
+	if stage == 0 || stage == 4 {
+		return grid.Bricks(pl.n, grid.Factor3(p))
+	}
+	return grid.Pencils(pl.n, stage-1, p)
+}
+
+// migrateSnapshot re-materializes the resume epoch on a shrunken
+// membership (docs/ROBUSTNESS.md): the committed snapshots were written
+// by the previous, larger membership in its own decomposition, so each
+// survivor fetches every old rank's snapshot that overlaps its new
+// partition and re-cuts the pencil data through the overlap. Stage
+// memory orders depend only on the stage axis, never on the rank
+// count, so the overlap copy is exact — for lossless backends the
+// migrated state is bit-identical to what a fresh run at the shrunken
+// size would have committed. Healing ledgers are restored from this
+// rank's own previous snapshot with the per-peer records remapped onto
+// the survivor ranks.
+func (pl *Plan[C]) migrateSnapshot(r *reshape[C]) []C {
+	rk := pl.opts.Recovery
+	fail := func(msg string) {
+		panic(fmt.Sprintf("core: rank %d epoch %d migration: %s", pl.c.Rank(), pl.epoch, msg))
+	}
+	prevP := rk.PrevSize()
+	oldBoxes := pl.stageBoxes(r.toStage, prevP)
+	elem := pl.elemSize()
+	var migrated int64
+	var scratch, tile []C
+	for old := 0; old < prevP; old++ {
+		ov := grid.Intersect(oldBoxes[old], r.toBox)
+		if ov.Empty() {
+			continue
+		}
+		snap, err := rk.RestorePeer(old)
+		if err != nil {
+			fail(fmt.Sprintf("old rank %d: %v", old, err))
+		}
+		body, _, serr := snapshotSections(snap)
+		if serr != nil {
+			fail(fmt.Sprintf("old rank %d: %v", old, serr))
+		}
+		if want := oldBoxes[old].Count() * elem; len(body) != want {
+			fail(fmt.Sprintf("old rank %d snapshot holds %d data bytes, its box needs %d", old, len(body), want))
+		}
+		if cap(scratch) < oldBoxes[old].Count() {
+			scratch = make([]C, oldBoxes[old].Count())
+		}
+		data := scratch[:oldBoxes[old].Count()]
+		bytesToComplex(body, data)
+		cnt := ov.Count()
+		if cap(tile) < cnt {
+			tile = make([]C, cnt)
+		}
+		grid.Pack(data, oldBoxes[old], r.toOrder, ov, r.toOrder, tile[:cnt])
+		grid.Unpack(tile[:cnt], ov, r.outBuf, r.toBox, r.toOrder)
+		migrated += int64(cnt * elem)
+	}
+	own, err := rk.RestorePeer(rk.PrevRank())
+	if err != nil {
+		fail(fmt.Sprintf("own old rank %d: %v", rk.PrevRank(), err))
+	}
+	_, oldLeds, serr := snapshotSections(own)
+	if serr != nil {
+		fail(fmt.Sprintf("own old rank %d: %v", rk.PrevRank(), serr))
+	}
+	leds := pl.ledgers()
+	if len(oldLeds) != len(leds) {
+		fail(fmt.Sprintf("old snapshot holds %d ledgers, plan has %d", len(oldLeds), len(leds)))
+	}
+	for i, l := range leds {
+		remapped, rerr := exchange.RemapLedgerState(oldLeds[i], rk.OldToNew(), pl.c.Size())
+		if rerr != nil {
+			fail(fmt.Sprintf("ledger %d: %v", i, rerr))
+		}
+		if err := l.RestoreLedger(remapped); err != nil {
+			fail(fmt.Sprintf("ledger %d: %v", i, err))
+		}
+	}
+	pl.c.Obs().Add(recov.MetricMigratedBytes, migrated)
+	return r.outBuf
+}
+
 // runPencil is the two-reshape pipeline: the first FFT stage runs
 // directly on the pencil-shaped input (forward) or output (inverse).
 // The first stage must not modify the caller's buffer, so it transforms
@@ -452,6 +572,10 @@ type reshape[C fft.Complex] struct {
 	// reshape's name (fwd0..3 / bwd0..3), stamped on telemetry events.
 	metricTime string
 	label      string
+	// toStage identifies the output decomposition stage (index into
+	// pl.boxes/orders) — the shrink migration rebuilds the same stage's
+	// layout for the previous membership's rank count.
+	toStage int
 
 	// backend and method are this reshape's resolved exchange choice:
 	// the fixed Options configuration, or the tune plan's winner for
@@ -492,6 +616,7 @@ func newReshape[C fft.Complex](pl *Plan[C], fromStage, toStage int, label string
 		toOrder:    toOrder,
 		metricTime: "exchange/" + label + "/time_s",
 		label:      label,
+		toStage:    toStage,
 	}
 	p := pl.c.Size()
 	elem := pl.elemSize()

@@ -139,11 +139,13 @@ func NodeBandwidthRecoverable(rec *obs.Recorder, cfg netsim.Config, algo string,
 func NodeBandwidthRecoverableSpec(rec *obs.Recorder, cfg netsim.Config, spec Spec, msgBytes, iters int, pol recov.Policy) (float64, recov.Outcome, error) {
 	spec = spec.withDefaults()
 	algo := spec.Algo
-	p := cfg.Ranks()
 	var start, end float64
-	var performed int
+	var performed, pFinal int
 	ct := &recov.Controller{Policy: pol}
 	out, err := ct.Run(cfg, rec, func(c *mpi.Comm, rk *recov.Rank) {
+		// After an elastic shrink the communicator is smaller than the
+		// machine; everything below sizes itself off the live membership.
+		p := c.Size()
 		sizes := make([]int, p)
 		for i := range sizes {
 			sizes[i] = msgBytes
@@ -193,7 +195,19 @@ func NodeBandwidthRecoverableSpec(rec *obs.Recorder, cfg netsim.Config, spec Spe
 			epoch++
 			if resume := rk.Resume(); epoch <= resume {
 				if epoch == resume && cosc != nil {
-					snap, err := rk.Restore()
+					var snap []byte
+					var err error
+					if rk.Migrating() {
+						// The snapshot was committed by the previous (larger)
+						// membership: fetch this rank's old ledger and remap
+						// its per-peer records onto the surviving ranks.
+						snap, err = rk.RestorePeer(rk.PrevRank())
+						if err == nil {
+							snap, err = RemapLedgerState(snap, rk.OldToNew(), c.Size())
+						}
+					} else {
+						snap, err = rk.Restore()
+					}
 					if err != nil {
 						panic(fmt.Sprintf("exchange: rank %d cannot restore epoch %d: %v", c.Rank(), epoch, err))
 					}
@@ -224,6 +238,7 @@ func NodeBandwidthRecoverableSpec(rec *obs.Recorder, cfg netsim.Config, spec Spe
 		if c.Rank() == 0 {
 			start, end = t0, t1
 			performed = myPerformed
+			pFinal = p
 		}
 	})
 	if err != nil {
@@ -232,7 +247,11 @@ func NodeBandwidthRecoverableSpec(rec *obs.Recorder, cfg netsim.Config, spec Spe
 	if performed == 0 || end <= start {
 		return 0, out, nil
 	}
-	total := float64(performed) * float64(p) * float64(p) * float64(msgBytes)
+	// Every measured iteration of the final attempt ran at that attempt's
+	// membership size (replays are restored, not re-run), so the byte
+	// total uses the final comm size — after a shrink that is smaller
+	// than the machine, and the outcome records the degradation.
+	total := float64(performed) * float64(pFinal) * float64(pFinal) * float64(msgBytes)
 	return total / (end - start) / float64(cfg.Nodes), out, nil
 }
 

@@ -264,7 +264,7 @@ func (c *Comm) alltoallvImpl(send [][]byte, sizes []int, recvNonzero []bool, bas
 			payload = send[dst]
 		}
 		lat, proto := c.rendezvousCost(dst, n)
-		c.p.SendMsg(dst, base, netsim.SendOpts{Payload: payload, Bytes: n, ExtraLatency: lat, ProtoOverhead: proto})
+		c.sendMsg(dst, base, netsim.SendOpts{Payload: payload, Bytes: n, ExtraLatency: lat, ProtoOverhead: proto})
 	}
 	// Every arrival is matched against the posted-receive list, whose
 	// length here is the number of active peers — the per-message

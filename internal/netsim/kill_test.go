@@ -1,0 +1,99 @@
+package netsim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The kill tests cover the permanent-loss fault kind: a killed rank is
+// parked like a crash but survives fault-plan pruning, so every respawn
+// of the run re-kills it — the signal that forces an elastic shrink
+// (internal/recover).
+
+func TestKillParksRankWithTypedEvent(t *testing.T) {
+	cfg := Summit(1)
+	var mu sync.Mutex
+	var kinds []string
+	cfg.FaultObserver = func(fe FaultEvent) {
+		mu.Lock()
+		kinds = append(kinds, fe.Kind)
+		mu.Unlock()
+	}
+	cfg.Faults = &FaultPlan{Seed: 7, KillRank: 2, KillAt: 1e-6}
+	res, err := RunChecked(cfg, faultBody(t, false))
+	if err == nil {
+		t.Fatal("killed rank did not fail the run")
+	}
+	if res.Stats.Faults.Kills != 1 || res.Stats.Faults.Crashes != 1 {
+		t.Errorf("kills %d crashes %d, want 1 and 1", res.Stats.Faults.Kills, res.Stats.Faults.Crashes)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, k := range kinds {
+		if k == "kill" {
+			found = true
+		}
+		if k == "crash" {
+			t.Errorf(`kill surfaced as plain "crash" event`)
+		}
+	}
+	if !found {
+		t.Errorf(`no "kill" fault event observed (got %v)`, kinds)
+	}
+}
+
+func TestKillSurvivesCrashPruning(t *testing.T) {
+	// WithCrashesAfter prunes absorbed transient crashes but must keep
+	// permanent kills armed: a respawned attempt re-kills the rank.
+	plan := &FaultPlan{Seed: 8, CrashRank: 1, CrashAt: 1e-6, KillRank: 2, KillAt: 2e-6,
+		CrashSchedule: []CrashSpec{{Rank: 4, At: 3e-6}, {Rank: 5, At: 4e-6, Permanent: true}}}
+	pruned := plan.WithCrashesAfter(10e-6) // past every entry
+	crashes := pruned.Crashes()
+	byRank := map[int]bool{}
+	for _, cs := range crashes {
+		byRank[cs.Rank] = true
+		if !cs.Permanent {
+			t.Errorf("pruned plan kept transient crash %+v", cs)
+		}
+	}
+	if !byRank[2] || !byRank[5] {
+		t.Errorf("pruned plan lost permanent kills: %+v", crashes)
+	}
+	if byRank[1] || byRank[4] {
+		t.Errorf("pruned plan kept absorbed transient crashes: %+v", crashes)
+	}
+	if plan.KillRank != 2 || plan.KillAt != 2e-6 {
+		t.Errorf("pruning mutated the original plan: %+v", plan)
+	}
+}
+
+func TestKillScenarioString(t *testing.T) {
+	plan := &FaultPlan{KillRank: 3, KillAt: 1e-6}
+	if s := plan.Scenario(); !strings.Contains(s, "kill-rank3") {
+		t.Errorf("scenario %q does not name the kill", s)
+	}
+}
+
+func TestKillDeterministicAcrossEngines(t *testing.T) {
+	run := func(parallel bool) (Result, error) {
+		cfg := Summit(1)
+		cfg.Parallel = parallel
+		cfg.Faults = &FaultPlan{Seed: 9, KillRank: 0, KillAt: 1.5e-6}
+		return RunChecked(cfg, faultBody(t, false))
+	}
+	seq, seqErr := run(false)
+	par, parErr := run(true)
+	if (seqErr == nil) != (parErr == nil) {
+		t.Fatalf("engines disagree on failure: %v vs %v", seqErr, parErr)
+	}
+	if seq.Stats.Faults != par.Stats.Faults {
+		t.Errorf("fault stats diverged: %+v vs %+v", seq.Stats.Faults, par.Stats.Faults)
+	}
+	for r, c := range seq.Clocks {
+		if par.Clocks[r] != c {
+			t.Errorf("rank %d clock diverged: %v vs %v", r, c, par.Clocks[r])
+		}
+	}
+}

@@ -47,6 +47,12 @@ const (
 	// half's (split at the virtual-time midpoint, so evaluation does not
 	// depend on observation order). target 2 tolerates a 2× drift.
 	KindDrift = "drift"
+	// KindShrink counts elastic-shrink arcs (recovery events labeled
+	// "shrink_verdict" — permanent rank loss absorbed by re-decomposing
+	// onto the survivors); restrict with Label to another shrink
+	// transition ("shrink_agree", "replan", "migrate"). "never run
+	// degraded" is {kind: "shrink", max_count: 0}.
+	KindShrink = "shrink"
 )
 
 // Objective is one declarative SLO.
@@ -96,7 +102,7 @@ func (o *Objective) eventKind() string {
 		return obs.EventFallback
 	case KindFault:
 		return obs.EventFault
-	case KindRecovery:
+	case KindRecovery, KindShrink:
 		return obs.EventRecovery
 	case KindBudgetShare:
 		return obs.EventErrAttr
@@ -278,6 +284,11 @@ func (tr *tracker) observe(ev obs.Event) (obs.Event, bool) {
 	// budget_share needs the whole attribution stream in its window (the
 	// share's denominator), so its label selects rather than filters.
 	if o.Kind != KindBudgetShare && o.Label != "" && o.Label != ev.Label {
+		return obs.Event{}, false
+	}
+	// shrink shares the recovery event stream; an unrestricted objective
+	// counts arcs (one shrink_verdict each), not every shrink transition.
+	if o.Kind == KindShrink && o.Label == "" && ev.Label != "shrink_verdict" {
 		return obs.Event{}, false
 	}
 	s := sample{t: ev.T}

@@ -1,0 +1,126 @@
+package recover_test
+
+import (
+	"math/rand"
+	"testing"
+
+	recov "repro/internal/recover"
+)
+
+// Property suite for the recovery backoff schedule: for any policy the
+// delay sequence must be per-seed deterministic, monotone non-decreasing
+// up to the cap, and jittered within [base, base·(1+JitterFrac)].
+
+// randomPolicy draws a policy from the generator, covering capped and
+// uncapped, jittered and jitter-free corners.
+func randomPolicy(rng *rand.Rand) recov.Policy {
+	pol := recov.Policy{
+		Backoff:       1e-4 * (1 + 99*rng.Float64()), // 0.1ms .. ~10ms
+		BackoffFactor: 1 + 3*rng.Float64(),           // 1 .. 4
+		JitterFrac:    []float64{0, rng.Float64()}[rng.Intn(2)],
+		Seed:          rng.Int63(),
+	}
+	if rng.Intn(2) == 0 {
+		// Cap somewhere the exponential actually reaches.
+		pol.MaxBackoff = pol.Backoff * (1 + 50*rng.Float64())
+	}
+	return pol.WithDefaults()
+}
+
+func TestBackoffScheduleProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	const attempts = 12
+	for trial := 0; trial < 200; trial++ {
+		pol := randomPolicy(rng)
+
+		// Per-seed determinism: replaying the same policy (same seed)
+		// reproduces the delay sequence bit-for-bit.
+		draw := func() []float64 {
+			jitter := rand.New(rand.NewSource(pol.Seed ^ 0x5eed0f1a))
+			out := make([]float64, attempts)
+			for a := 0; a < attempts; a++ {
+				out[a] = recov.BackoffDelay(pol, a, jitter)
+			}
+			return out
+		}
+		first, second := draw(), draw()
+		for a := range first {
+			if first[a] != second[a] {
+				t.Fatalf("trial %d: delay %d not deterministic: %v vs %v (policy %+v)",
+					trial, a, first[a], second[a], pol)
+			}
+		}
+
+		prevBase := 0.0
+		for a := 0; a < attempts; a++ {
+			base := recov.BackoffBase(pol, a)
+
+			// Monotone non-decreasing, capped at MaxBackoff when set.
+			if base < prevBase {
+				t.Fatalf("trial %d: base delay decreased at attempt %d: %v -> %v (policy %+v)",
+					trial, a, prevBase, base, pol)
+			}
+			if pol.MaxBackoff > 0 && base > pol.MaxBackoff {
+				t.Fatalf("trial %d: base delay %v exceeds cap %v at attempt %d (policy %+v)",
+					trial, base, pol.MaxBackoff, a, pol)
+			}
+			if pol.MaxBackoff == 0 && a > 0 {
+				// Uncapped: the exact exponential.
+				want := recov.BackoffBase(pol, a-1) * pol.BackoffFactor
+				if !approxEq(base, want) {
+					t.Fatalf("trial %d: uncapped base %v at attempt %d, want %v (policy %+v)",
+						trial, base, a, want, pol)
+				}
+			}
+			prevBase = base
+
+			// Jitter bounds: delay in [base, base·(1+JitterFrac)].
+			if d := first[a]; d < base || d > base*(1+pol.JitterFrac)*(1+1e-12) {
+				t.Fatalf("trial %d: jittered delay %v outside [%v, %v] at attempt %d (policy %+v)",
+					trial, d, base, base*(1+pol.JitterFrac), a, pol)
+			}
+			if pol.JitterFrac == 0 && first[a] != base {
+				t.Fatalf("trial %d: zero jitter still perturbed the delay: %v != %v", trial, first[a], base)
+			}
+		}
+
+		// Once the cap is hit, the schedule stays there.
+		if pol.MaxBackoff > 0 {
+			hit := false
+			for a := 0; a < attempts; a++ {
+				b := recov.BackoffBase(pol, a)
+				if hit && b != pol.MaxBackoff {
+					t.Fatalf("trial %d: schedule left the cap at attempt %d: %v (policy %+v)",
+						trial, a, b, pol)
+				}
+				if b == pol.MaxBackoff {
+					hit = true
+				}
+			}
+		}
+	}
+}
+
+func TestBackoffDelayConsumesOneDraw(t *testing.T) {
+	// Every delay consumes exactly one jitter draw, so the timeline is a
+	// pure function of (seed, recoveries so far) — the engine-equivalence
+	// contract depends on it.
+	pol := recov.Policy{JitterFrac: 0.5, Seed: 99}.WithDefaults()
+	a := rand.New(rand.NewSource(1))
+	b := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		recov.BackoffDelay(pol, i, a)
+		b.Float64()
+	}
+	if a.Float64() != b.Float64() {
+		t.Error("backoffDelay consumed a different number of RNG draws than one per call")
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12*(a+b)
+}

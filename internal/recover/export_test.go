@@ -1,0 +1,20 @@
+package recover
+
+import "math/rand"
+
+// Test-only exports: the backoff schedule and the snapshot frame codec,
+// so the property and fuzz suites can drive them directly.
+
+func BackoffBase(pol Policy, attempt int) float64 { return backoffBase(pol, attempt) }
+
+func BackoffDelay(pol Policy, attempt int, jitter *rand.Rand) float64 {
+	return backoffDelay(pol, attempt, jitter)
+}
+
+func (p Policy) WithDefaults() Policy { return p.withDefaults() }
+
+func Frame(snap []byte) []byte { return frame(snap) }
+
+func Unframe(b []byte) ([]byte, error) { return unframe(b) }
+
+const FrameHdr = frameHdr

@@ -22,6 +22,18 @@ import (
 // frameHdr is the CRC frame overhead per snapshot: [len u32][crc u32].
 const frameHdr = 8
 
+// FrameError is the typed validation failure of a checkpoint frame:
+// torn, truncated, or bit-flipped bytes must surface as one of these,
+// never as a panic or a silently loaded snapshot. Kind is "truncated"
+// (frame shorter than its header), "length" (stored length disagrees
+// with the payload), or "checksum" (CRC mismatch).
+type FrameError struct {
+	Kind string
+	Msg  string
+}
+
+func (e *FrameError) Error() string { return "recover: snapshot " + e.Msg }
+
 // frame wraps a snapshot in the store's [len|crc|payload] frame.
 func frame(snap []byte) []byte {
 	out := make([]byte, frameHdr+len(snap))
@@ -31,18 +43,19 @@ func frame(snap []byte) []byte {
 	return out
 }
 
-// unframe validates and unwraps a framed snapshot.
+// unframe validates and unwraps a framed snapshot; every failure is a
+// typed *FrameError.
 func unframe(b []byte) ([]byte, error) {
 	if len(b) < frameHdr {
-		return nil, fmt.Errorf("recover: snapshot frame truncated (%d bytes)", len(b))
+		return nil, &FrameError{Kind: "truncated", Msg: fmt.Sprintf("frame truncated (%d bytes)", len(b))}
 	}
 	n := binary.LittleEndian.Uint32(b[0:])
 	if int(n) != len(b)-frameHdr {
-		return nil, fmt.Errorf("recover: snapshot length %d does not match frame payload %d", n, len(b)-frameHdr)
+		return nil, &FrameError{Kind: "length", Msg: fmt.Sprintf("length %d does not match frame payload %d", n, len(b)-frameHdr)}
 	}
 	want := binary.LittleEndian.Uint32(b[4:])
 	if got := crc32.ChecksumIEEE(b[frameHdr:]); got != want {
-		return nil, fmt.Errorf("recover: snapshot checksum mismatch (stored %08x, computed %08x)", want, got)
+		return nil, &FrameError{Kind: "checksum", Msg: fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", want, got)}
 	}
 	return b[frameHdr:], nil
 }
